@@ -1,0 +1,235 @@
+(* smartly — command-line driver.
+
+   smartly list                           list built-in workload profiles
+   smartly generate NAME [-o FILE]        emit the profile's Verilog source
+   smartly stats SRC                      netlist statistics and AIG area
+   smartly opt SRC [--flow FLOW] [...]    optimize and report
+   smartly cec A B                        combinational equivalence check
+
+   SRC is either a built-in profile name or a path to a Verilog file in the
+   supported subset. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_circuit ~style src : Netlist.Circuit.t =
+  match Workloads.Profiles.by_name src with
+  | Some p -> Workloads.Profiles.circuit p
+  | None ->
+    if Sys.file_exists src then
+      Hdl.Elaborate.elaborate_string ~style (read_file src)
+    else
+      failwith
+        (Printf.sprintf "%s: neither a profile name nor an existing file" src)
+
+(* --- arguments --- *)
+
+let src_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SRC" ~doc:"Profile name or Verilog file.")
+
+let style_arg =
+  let style_conv =
+    Arg.enum [ "chain", `Chain; "balanced", `Balanced; "pmux", `Pmux ]
+  in
+  Arg.(
+    value & opt style_conv `Chain
+    & info [ "style" ] ~docv:"STYLE"
+        ~doc:"Case lowering style for Verilog files: chain, balanced, pmux.")
+
+let flow_arg =
+  let flow_conv =
+    Arg.enum
+      [
+        "none", `None; "yosys", `Yosys; "smartly", `Smartly; "sat", `Sat;
+        "rebuild", `Rebuild;
+      ]
+  in
+  Arg.(
+    value & opt flow_conv `Smartly
+    & info [ "flow" ] ~docv:"FLOW"
+        ~doc:
+          "Optimization flow: none, yosys (baseline), smartly (full), sat \
+           (SAT elimination only), rebuild (restructuring only).")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ] ~doc:"Equivalence-check the result against the input.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print pass reports.")
+
+(* --- commands --- *)
+
+let list_cmd =
+  let run () =
+    print_endline "public benchmark profiles:";
+    List.iter
+      (fun (p : Workloads.Profiles.profile) ->
+        Printf.printf "  %-16s (seed %d, %s style)\n" p.Workloads.Profiles.name
+          p.Workloads.Profiles.seed
+          (match p.Workloads.Profiles.style with
+          | `Chain -> "chain"
+          | `Balanced -> "balanced"
+          | `Pmux -> "pmux"))
+      Workloads.Profiles.public_benchmarks;
+    print_endline "industrial test points:";
+    List.iter
+      (fun (p : Workloads.Profiles.profile) ->
+        Printf.printf "  %-16s (seed %d)\n" p.Workloads.Profiles.name
+          p.Workloads.Profiles.seed)
+      Workloads.Profiles.industrial_benchmarks
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in workload profiles.")
+    Term.(const run $ const ())
+
+let generate_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE.")
+  in
+  let run name out =
+    match Workloads.Profiles.by_name name with
+    | None -> Printf.eprintf "unknown profile %s\n" name
+    | Some p -> (
+      let src = Workloads.Profiles.source p in
+      match out with
+      | None -> print_string src
+      | Some path ->
+        let oc = open_out path in
+        output_string oc src;
+        close_out oc;
+        Printf.printf "wrote %s (%d bytes)\n" path (String.length src))
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Emit the Verilog source of a profile.")
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"NAME" ~doc:"Profile name.")
+      $ out_arg)
+
+let stats_cmd =
+  let run src style =
+    let c = load_circuit ~style src in
+    let st = Netlist.Stats.of_circuit c in
+    Fmt.pr "%a@." Netlist.Stats.pp st;
+    Printf.printf "logic depth: %d\n" (Netlist.Topo.logic_depth c);
+    Printf.printf "AIG area (FF excluded): %d\n" (Aiger.Aigmap.aig_area c)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print netlist statistics and the AIG area.")
+    Term.(const run $ src_arg $ style_arg)
+
+let opt_cmd =
+  let run src style flow check verbose =
+    let c = load_circuit ~style src in
+    let orig = Netlist.Circuit.copy c in
+    let area0 = Aiger.Aigmap.aig_area c in
+    let t0 = Unix.gettimeofday () in
+    (match flow with
+    | `None -> ()
+    | `Yosys ->
+      let r = Smartly.Driver.yosys c in
+      if verbose then Fmt.pr "baseline: %a@." Rtl_opt.Flow.pp_report r
+    | `Smartly | `Sat | `Rebuild ->
+      let cfg =
+        match flow with
+        | `Sat -> Smartly.Config.sat_only
+        | `Rebuild -> Smartly.Config.rebuild_only
+        | `Smartly | `None | `Yosys -> Smartly.Config.default
+      in
+      let r = Smartly.Driver.smartly ~cfg c in
+      if verbose then begin
+        List.iter
+          (fun rr -> Fmt.pr "sat_elim: %a@." Smartly.Sat_elim.pp_report rr)
+          r.Smartly.Driver.sat_reports;
+        List.iter
+          (fun rr -> Fmt.pr "rebuild:  %a@." Smartly.Restructure.pp_report rr)
+          r.Smartly.Driver.rebuild_reports
+      end);
+    let dt = Unix.gettimeofday () -. t0 in
+    let area1 = Aiger.Aigmap.aig_area c in
+    Printf.printf "AIG area: %d -> %d (%.2f%% reduction) in %.2fs\n" area0
+      area1
+      (if area0 = 0 then 0.0
+       else 100.0 *. (1.0 -. (float_of_int area1 /. float_of_int area0)))
+      dt;
+    if check then
+      Fmt.pr "equivalence: %a@." Equiv.pp_verdict (Equiv.check orig c)
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Optimize a circuit and report the AIG area.")
+    Term.(const run $ src_arg $ style_arg $ flow_arg $ check_arg $ verbose_arg)
+
+let write_verilog_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE.")
+  in
+  let run src style out =
+    let c = load_circuit ~style src in
+    let text = Hdl.Verilog_out.write c in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
+  in
+  Cmd.v
+    (Cmd.info "write-verilog"
+       ~doc:"Write the circuit back out as Verilog (round-trippable).")
+    Term.(const run $ src_arg $ style_arg $ out_arg)
+
+let dump_cmd =
+  let run src style =
+    let c = load_circuit ~style src in
+    Netlist.Pp.print c
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print the elaborated netlist in textual form.")
+    Term.(const run $ src_arg $ style_arg)
+
+let cec_cmd =
+  let src2_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SRC2" ~doc:"Second profile or Verilog file.")
+  in
+  let run src1 src2 style =
+    let c1 = load_circuit ~style src1 in
+    let c2 = load_circuit ~style src2 in
+    Fmt.pr "%a@." Equiv.pp_verdict (Equiv.check c1 c2)
+  in
+  Cmd.v
+    (Cmd.info "cec" ~doc:"Combinational equivalence check of two circuits.")
+    Term.(const run $ src_arg $ src2_arg $ style_arg)
+
+let main_cmd =
+  let doc = "smaRTLy: RTL muxtree optimization (DAC'25 reproduction)" in
+  Cmd.group
+    (Cmd.info "smartly" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; generate_cmd; stats_cmd; opt_cmd; cec_cmd; dump_cmd;
+      write_verilog_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

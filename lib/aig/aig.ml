@@ -1,0 +1,193 @@
+(* And-Inverter Graphs with structural hashing and constant folding.
+
+   Literal encoding: lit = 2*node + complement.  Node 0 is the constant
+   FALSE node, so lit 0 = false and lit 1 = true.  Nodes are either the
+   constant, primary inputs, or AND2 nodes. *)
+
+type lit = int
+
+type node =
+  | Const
+  | Pi of int (* pi index *)
+  | And of lit * lit
+
+type t = {
+  mutable nodes : node array;
+  mutable num_nodes : int;
+  strash : (int * int, int) Hashtbl.t;
+  mutable pis : (string * int) list; (* name, node id; reversed *)
+  mutable pos : (string * lit) list; (* reversed *)
+}
+
+let false_lit : lit = 0
+let true_lit : lit = 1
+
+let create () =
+  {
+    nodes = Array.make 64 Const;
+    num_nodes = 1 (* node 0 = Const *);
+    strash = Hashtbl.create 64;
+    pis = [];
+    pos = [];
+  }
+
+let node_of_lit (l : lit) = l lsr 1
+let is_complemented (l : lit) = l land 1 = 1
+let negate (l : lit) : lit = l lxor 1
+let lit_of_node ?(complement = false) n : lit =
+  (n * 2) + if complement then 1 else 0
+
+let node t id = t.nodes.(id)
+
+let add_node t n =
+  if t.num_nodes >= Array.length t.nodes then begin
+    let bigger = Array.make (2 * Array.length t.nodes) Const in
+    Array.blit t.nodes 0 bigger 0 t.num_nodes;
+    t.nodes <- bigger
+  end;
+  let id = t.num_nodes in
+  t.nodes.(id) <- n;
+  t.num_nodes <- id + 1;
+  id
+
+let new_pi t name : lit =
+  let idx = List.length t.pis in
+  let id = add_node t (Pi idx) in
+  t.pis <- (name, id) :: t.pis;
+  lit_of_node id
+
+(* The literal of a named primary input, if present. *)
+let pi_lit t name =
+  List.assoc_opt name t.pis |> Option.map (fun id -> lit_of_node id)
+
+let add_po t name (l : lit) = t.pos <- (name, l) :: t.pos
+
+let pis t = List.rev t.pis
+let pos t = List.rev t.pos
+
+(* AND with constant folding and structural hashing. *)
+let and_ t (a : lit) (b : lit) : lit =
+  if a = false_lit || b = false_lit then false_lit
+  else if a = true_lit then b
+  else if b = true_lit then a
+  else if a = b then a
+  else if a = negate b then false_lit
+  else begin
+    let key = if a < b then a, b else b, a in
+    match Hashtbl.find_opt t.strash key with
+    | Some id -> lit_of_node id
+    | None ->
+      let id = add_node t (And (fst key, snd key)) in
+      Hashtbl.replace t.strash key id;
+      lit_of_node id
+  end
+
+let or_ t a b = negate (and_ t (negate a) (negate b))
+let mux_ t ~s ~a ~b =
+  (* y = s ? b : a *)
+  or_ t (and_ t s b) (and_ t (negate s) a)
+let xor_ t a b = or_ t (and_ t a (negate b)) (and_ t (negate a) b)
+let xnor_ t a b = negate (xor_ t a b)
+
+let and_list t = List.fold_left (and_ t) true_lit
+let or_list t = List.fold_left (or_ t) false_lit
+let xor_list t = List.fold_left (xor_ t) false_lit
+
+(* --- area --- *)
+
+(* Count AND nodes in the transitive fanin of the primary outputs.
+   This matches counting cells after a dead-code sweep, the paper's
+   "AIG area" (FFs are excluded upstream by the mapper). *)
+let area t =
+  let visited = Array.make t.num_nodes false in
+  let count = ref 0 in
+  let rec visit id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      match t.nodes.(id) with
+      | And (a, b) ->
+        incr count;
+        visit (node_of_lit a);
+        visit (node_of_lit b)
+      | Const | Pi _ -> ()
+    end
+  in
+  List.iter (fun (_, l) -> visit (node_of_lit l)) t.pos;
+  !count
+
+let num_ands t =
+  let c = ref 0 in
+  for i = 0 to t.num_nodes - 1 do
+    match t.nodes.(i) with And _ -> incr c | Const | Pi _ -> ()
+  done;
+  !c
+
+let num_pis t = List.length t.pis
+let num_pos t = List.length t.pos
+
+(* --- simulation (bit-parallel words) --- *)
+
+(* Evaluate all nodes given one word per PI; returns per-node words. *)
+let simulate t (pi_words : int array) : int array =
+  let values = Array.make t.num_nodes 0 in
+  for id = 0 to t.num_nodes - 1 do
+    match t.nodes.(id) with
+    | Const -> values.(id) <- 0
+    | Pi idx -> values.(id) <- (if idx < Array.length pi_words then pi_words.(idx) else 0)
+    | And (a, b) ->
+      let va =
+        let v = values.(node_of_lit a) in
+        if is_complemented a then lnot v else v
+      in
+      let vb =
+        let v = values.(node_of_lit b) in
+        if is_complemented b then lnot v else v
+      in
+      values.(id) <- va land vb
+  done;
+  values
+
+let lit_value values (l : lit) =
+  let v = values.(node_of_lit l) in
+  if is_complemented l then lnot v else v
+
+(* --- CNF encoding --- *)
+
+(* Encode the cone of the given literals into [solver]; returns a function
+   mapping AIG literals to SAT literals. *)
+let to_cnf t (solver : Cdcl.Solver.t) (roots : lit list) =
+  let sat_var = Hashtbl.create 64 in
+  let const_var =
+    let v = Cdcl.Solver.new_var solver in
+    Cdcl.Solver.add_clause solver [ Cdcl.Lit.of_var ~negated:true v ];
+    v
+  in
+  Hashtbl.replace sat_var 0 const_var;
+  let rec visit id =
+    match Hashtbl.find_opt sat_var id with
+    | Some v -> v
+    | None -> (
+      match t.nodes.(id) with
+      | Const -> const_var
+      | Pi _ ->
+        let v = Cdcl.Solver.new_var solver in
+        Hashtbl.replace sat_var id v;
+        v
+      | And (a, b) ->
+        let va = visit (node_of_lit a) in
+        let vb = visit (node_of_lit b) in
+        let v = Cdcl.Solver.new_var solver in
+        Hashtbl.replace sat_var id v;
+        let la = Cdcl.Lit.of_var ~negated:(is_complemented a) va in
+        let lb = Cdcl.Lit.of_var ~negated:(is_complemented b) vb in
+        let ly = Cdcl.Lit.of_var v in
+        Cdcl.Solver.add_clause solver [ Cdcl.Lit.negate ly; la ];
+        Cdcl.Solver.add_clause solver [ Cdcl.Lit.negate ly; lb ];
+        Cdcl.Solver.add_clause solver
+          [ ly; Cdcl.Lit.negate la; Cdcl.Lit.negate lb ];
+        v)
+  in
+  List.iter (fun l -> ignore (visit (node_of_lit l))) roots;
+  fun (l : lit) ->
+    let v = visit (node_of_lit l) in
+    Cdcl.Lit.of_var ~negated:(is_complemented l) v

@@ -1,0 +1,69 @@
+(** And-Inverter Graphs with structural hashing and constant folding.
+
+    Literals are [2*node + complement]; node 0 is constant FALSE, so
+    literal 0 is false and literal 1 is true. *)
+
+type lit = int
+
+type node = Const | Pi of int | And of lit * lit
+
+type t
+
+val false_lit : lit
+val true_lit : lit
+
+val create : unit -> t
+
+val node_of_lit : lit -> int
+val is_complemented : lit -> bool
+val negate : lit -> lit
+val lit_of_node : ?complement:bool -> int -> lit
+
+val node : t -> int -> node
+
+val new_pi : t -> string -> lit
+(** A fresh named primary input. *)
+
+val pi_lit : t -> string -> lit option
+
+val add_po : t -> string -> lit -> unit
+
+val pis : t -> (string * int) list
+(** (name, node id), in creation order. *)
+
+val pos : t -> (string * lit) list
+
+val and_ : t -> lit -> lit -> lit
+(** AND with constant folding ([x&0], [x&1], [x&x], [x&~x]) and structural
+    hashing. *)
+
+val or_ : t -> lit -> lit -> lit
+val xor_ : t -> lit -> lit -> lit
+val xnor_ : t -> lit -> lit -> lit
+
+val mux_ : t -> s:lit -> a:lit -> b:lit -> lit
+(** [y = s ? b : a]. *)
+
+val and_list : t -> lit list -> lit
+val or_list : t -> lit list -> lit
+val xor_list : t -> lit list -> lit
+
+val area : t -> int
+(** AND nodes in the transitive fanin of the primary outputs — the paper's
+    AIG-area metric (dead nodes excluded). *)
+
+val num_ands : t -> int
+(** All AND nodes, dead included. *)
+
+val num_pis : t -> int
+val num_pos : t -> int
+
+val simulate : t -> int array -> int array
+(** Bit-parallel evaluation: one word of lanes per PI (by PI index);
+    returns a word per node. *)
+
+val lit_value : int array -> lit -> int
+
+val to_cnf : t -> Cdcl.Solver.t -> lit list -> lit -> Cdcl.Lit.t
+(** [to_cnf g solver roots] encodes the cones of [roots] and returns a
+    translation from AIG literals (within those cones) to SAT literals. *)

@@ -1,0 +1,180 @@
+(* ASCII AIGER (.aag) reading and writing.
+
+   The AIGER literal encoding coincides with ours (2*var + complement,
+   literal 0 = false), except that AIGER numbers variables over inputs and
+   ands jointly while we keep a node table; the translation is a dense
+   renumbering.  Latches are not produced by {!Aigmap.map} (it cuts dffs
+   into pseudo-ports), so this module handles the combinational subset:
+   [aag M I L O A] with L = 0. *)
+
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Format_error m)) fmt
+
+(* --- writing --- *)
+
+let write (g : Aig.t) : string =
+  (* dense renumbering: PIs first (AIGER convention), then ANDs in
+     topological (id) order; only nodes reachable from POs are emitted *)
+  let order = ref [] in
+  let seen = Hashtbl.create 256 in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      match Aig.node g id with
+      | Aig.And (a, b) ->
+        visit (Aig.node_of_lit a);
+        visit (Aig.node_of_lit b);
+        order := id :: !order
+      | Aig.Const | Aig.Pi _ -> ()
+    end
+  in
+  List.iter (fun (_, l) -> visit (Aig.node_of_lit l)) (Aig.pos g);
+  let ands = List.rev !order in
+  let pis = Aig.pis g in
+  let var_of = Hashtbl.create 256 in
+  Hashtbl.replace var_of 0 0;
+  List.iteri (fun i (_, id) -> Hashtbl.replace var_of id (i + 1)) pis;
+  List.iteri
+    (fun i id -> Hashtbl.replace var_of id (List.length pis + 1 + i))
+    ands;
+  let tr (l : Aig.lit) =
+    let v =
+      match Hashtbl.find_opt var_of (Aig.node_of_lit l) with
+      | Some v -> v
+      | None -> fail "unreachable node in output cone"
+    in
+    (2 * v) + if Aig.is_complemented l then 1 else 0
+  in
+  let buf = Buffer.create 1024 in
+  let m = List.length pis + List.length ands in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 %d %d\n" m (List.length pis)
+       (List.length (Aig.pos g))
+       (List.length ands));
+  List.iteri
+    (fun i _ -> Buffer.add_string buf (Printf.sprintf "%d\n" (2 * (i + 1))))
+    pis;
+  List.iter
+    (fun (_, l) -> Buffer.add_string buf (Printf.sprintf "%d\n" (tr l)))
+    (Aig.pos g);
+  List.iter
+    (fun id ->
+      match Aig.node g id with
+      | Aig.And (a, b) ->
+        let lhs = 2 * Hashtbl.find var_of id in
+        let ra = tr a and rb = tr b in
+        let ra, rb = if ra >= rb then ra, rb else rb, ra in
+        Buffer.add_string buf (Printf.sprintf "%d %d %d\n" lhs ra rb)
+      | Aig.Const | Aig.Pi _ -> ())
+    ands;
+  (* symbol table: input and output names *)
+  List.iteri
+    (fun i (name, _) ->
+      Buffer.add_string buf (Printf.sprintf "i%d %s\n" i name))
+    pis;
+  List.iteri
+    (fun i (name, _) ->
+      Buffer.add_string buf (Printf.sprintf "o%d %s\n" i name))
+    (Aig.pos g);
+  Buffer.contents buf
+
+(* --- reading --- *)
+
+let read (text : string) : Aig.t =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> fail "empty file"
+  | header :: rest -> (
+    let ints_of line =
+      String.split_on_char ' ' line
+      |> List.filter (( <> ) "")
+      |> List.map (fun s ->
+             try int_of_string s with Failure _ -> fail "bad integer %S" s)
+    in
+    match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+    | [ "aag"; m; i; l; o; a ] ->
+      let _m = int_of_string m in
+      let ni = int_of_string i in
+      let nl = int_of_string l in
+      let no = int_of_string o in
+      let na = int_of_string a in
+      if nl <> 0 then fail "latches are not supported";
+      let g = Aig.create () in
+      (* collect the sections *)
+      let rec take n acc rest =
+        if n = 0 then List.rev acc, rest
+        else
+          match rest with
+          | [] -> fail "truncated file"
+          | x :: r -> take (n - 1) (x :: acc) r
+      in
+      let input_lines, rest = take ni [] rest in
+      let output_lines, rest = take no [] rest in
+      let and_lines, rest = take na [] rest in
+      (* symbol table (optional) *)
+      let input_names = Hashtbl.create 16 in
+      let output_names = Hashtbl.create 16 in
+      List.iter
+        (fun line ->
+          match String.index_opt line ' ' with
+          | Some sp when String.length line > 1 ->
+            let tag = String.sub line 0 sp in
+            let name =
+              String.sub line (sp + 1) (String.length line - sp - 1)
+            in
+            let kind = tag.[0] in
+            (match int_of_string_opt (String.sub tag 1 (String.length tag - 1)) with
+            | Some idx when kind = 'i' -> Hashtbl.replace input_names idx name
+            | Some idx when kind = 'o' -> Hashtbl.replace output_names idx name
+            | _ -> ())
+          | _ -> ())
+        rest;
+      (* build: literal translation table *)
+      let lit_of = Hashtbl.create 256 in
+      Hashtbl.replace lit_of 0 Aig.false_lit;
+      let resolve l =
+        let v = l / 2 in
+        match Hashtbl.find_opt lit_of (2 * v) with
+        | Some base -> if l land 1 = 1 then Aig.negate base else base
+        | None -> fail "undefined literal %d" l
+      in
+      List.iteri
+        (fun idx line ->
+          match ints_of line with
+          | [ l ] ->
+            if l land 1 = 1 || l = 0 then fail "invalid input literal %d" l;
+            let name =
+              match Hashtbl.find_opt input_names idx with
+              | Some n -> n
+              | None -> Printf.sprintf "i%d" idx
+            in
+            Hashtbl.replace lit_of l (Aig.new_pi g name)
+          | _ -> fail "bad input line %S" line)
+        input_lines;
+      List.iter
+        (fun line ->
+          match ints_of line with
+          | [ lhs; a; b ] ->
+            if lhs land 1 = 1 then fail "complemented and lhs %d" lhs;
+            let la = resolve a and lb = resolve b in
+            Hashtbl.replace lit_of lhs (Aig.and_ g la lb)
+          | _ -> fail "bad and line %S" line)
+        and_lines;
+      List.iteri
+        (fun idx line ->
+          match ints_of line with
+          | [ l ] ->
+            let name =
+              match Hashtbl.find_opt output_names idx with
+              | Some n -> n
+              | None -> Printf.sprintf "o%d" idx
+            in
+            Aig.add_po g name (resolve l)
+          | _ -> fail "bad output line %S" line)
+        output_lines;
+      g
+    | _ -> fail "bad header %S" header)

@@ -1,0 +1,12 @@
+(** ASCII AIGER (.aag) interchange, combinational subset (no latches —
+    {!Aigmap.map} already cuts flip-flops into pseudo-ports).
+    Symbol tables carry the PI/PO names both ways. *)
+
+exception Format_error of string
+
+val write : Aig.t -> string
+(** Only the cones of the primary outputs are emitted, densely renumbered
+    in AIGER convention (inputs first). *)
+
+val read : string -> Aig.t
+(** @raise Format_error on malformed input. *)

@@ -1,0 +1,158 @@
+(* Netlist -> AIG mapping, the equivalent of the Yosys `aigmap` command.
+
+   Primary inputs of the AIG are the circuit inputs plus every dff output
+   bit (FF state is cut); primary outputs are the circuit outputs plus every
+   dff input bit.  Flip-flops themselves therefore contribute no AND gates,
+   matching the paper's "AIG area excluding flip-flops" metric. *)
+
+open Netlist
+
+type mapping = {
+  aig : Aig.t;
+  lit_of_bit : Bits.bit -> Aig.lit;
+}
+
+let map (c : Circuit.t) : mapping =
+  let g = Aig.create () in
+  let env : Aig.lit Bits.Bit_tbl.t = Bits.Bit_tbl.create 256 in
+  let lookup b =
+    match b with
+    | Bits.C0 | Bits.Cx -> Aig.false_lit
+    | Bits.C1 -> Aig.true_lit
+    | Bits.Of_wire (wid, off) -> (
+      match Bits.Bit_tbl.find_opt env b with
+      | Some l -> l
+      | None ->
+        (* undriven bit: fresh primary input (conservative) *)
+        let l = Aig.new_pi g (Printf.sprintf "$undriven%d[%d]" wid off) in
+        Bits.Bit_tbl.replace env b l;
+        l)
+  in
+  let assign b l =
+    match b with
+    | Bits.Of_wire _ -> Bits.Bit_tbl.replace env b l
+    | Bits.C0 | Bits.C1 | Bits.Cx -> ()
+  in
+  (* circuit inputs first, in declaration order *)
+  List.iter
+    (fun w ->
+      Array.iteri
+        (fun i b ->
+          assign b (Aig.new_pi g (Printf.sprintf "%s[%d]" w.Circuit.wire_name i)))
+        (Circuit.sig_of_wire w))
+    (Circuit.inputs c);
+  (* dff outputs are pseudo primary inputs, named after the state wire so
+     the correspondence survives re-elaboration and optimization *)
+  let state_bit_name b =
+    match b with
+    | Bits.Of_wire (wid, off) ->
+      Printf.sprintf "$reg:%s:%d" (Circuit.wire c wid).Circuit.wire_name off
+    | Bits.C0 | Bits.C1 | Bits.Cx -> "$reg:const"
+  in
+  List.iter
+    (fun id ->
+      match Circuit.cell c id with
+      | Cell.Dff { q; _ } ->
+        Array.iter (fun b -> assign b (Aig.new_pi g (state_bit_name b))) q
+      | Cell.Unary _ | Cell.Binary _ | Cell.Mux _ | Cell.Pmux _ -> ())
+    (Circuit.cell_ids c);
+  let lv s = Array.map lookup s in
+  let assign_vec y lits = Array.iteri (fun i l -> assign y.(i) l) lits in
+  let map_cell cell =
+    match cell with
+    | Cell.Unary { op = Cell.Not; a; y } ->
+      assign_vec y (Array.map Aig.negate (lv a))
+    | Cell.Unary { op = Cell.Logic_not; a; y } ->
+      assign y.(0) (Aig.negate (Aig.or_list g (Array.to_list (lv a))))
+    | Cell.Unary { op = Cell.Reduce_and; a; y } ->
+      assign y.(0) (Aig.and_list g (Array.to_list (lv a)))
+    | Cell.Unary { op = Cell.Reduce_or | Cell.Reduce_bool; a; y } ->
+      assign y.(0) (Aig.or_list g (Array.to_list (lv a)))
+    | Cell.Unary { op = Cell.Reduce_xor; a; y } ->
+      assign y.(0) (Aig.xor_list g (Array.to_list (lv a)))
+    | Cell.Binary { op = Cell.And; a; b; y } ->
+      assign_vec y (Array.map2 (Aig.and_ g) (lv a) (lv b))
+    | Cell.Binary { op = Cell.Or; a; b; y } ->
+      assign_vec y (Array.map2 (Aig.or_ g) (lv a) (lv b))
+    | Cell.Binary { op = Cell.Xor; a; b; y } ->
+      assign_vec y (Array.map2 (Aig.xor_ g) (lv a) (lv b))
+    | Cell.Binary { op = Cell.Xnor; a; b; y } ->
+      assign_vec y (Array.map2 (Aig.xnor_ g) (lv a) (lv b))
+    | Cell.Binary { op = Cell.Eq; a; b; y } ->
+      let eqbits = Array.map2 (Aig.xnor_ g) (lv a) (lv b) in
+      assign y.(0) (Aig.and_list g (Array.to_list eqbits))
+    | Cell.Binary { op = Cell.Ne; a; b; y } ->
+      let nebits = Array.map2 (Aig.xor_ g) (lv a) (lv b) in
+      assign y.(0) (Aig.or_list g (Array.to_list nebits))
+    | Cell.Binary { op = Cell.Logic_and; a; b; y } ->
+      assign y.(0)
+        (Aig.and_ g
+           (Aig.or_list g (Array.to_list (lv a)))
+           (Aig.or_list g (Array.to_list (lv b))))
+    | Cell.Binary { op = Cell.Logic_or; a; b; y } ->
+      assign y.(0)
+        (Aig.or_ g
+           (Aig.or_list g (Array.to_list (lv a)))
+           (Aig.or_list g (Array.to_list (lv b))))
+    | Cell.Binary { op = Cell.Add; a; b; y } ->
+      let va = lv a and vb = lv b in
+      let carry = ref Aig.false_lit in
+      Array.iteri
+        (fun i yb ->
+          let axb = Aig.xor_ g va.(i) vb.(i) in
+          assign yb (Aig.xor_ g axb !carry);
+          carry :=
+            Aig.or_ g (Aig.and_ g va.(i) vb.(i)) (Aig.and_ g !carry axb))
+        y
+    | Cell.Binary { op = Cell.Sub; a; b; y } ->
+      let va = lv a and vb = Array.map Aig.negate (lv b) in
+      let carry = ref Aig.true_lit in
+      Array.iteri
+        (fun i yb ->
+          let axb = Aig.xor_ g va.(i) vb.(i) in
+          assign yb (Aig.xor_ g axb !carry);
+          carry :=
+            Aig.or_ g (Aig.and_ g va.(i) vb.(i)) (Aig.and_ g !carry axb))
+        y
+    | Cell.Mux { a; b; s; y } ->
+      let ls = lookup s in
+      let va = lv a and vb = lv b in
+      Array.iteri
+        (fun i yb -> assign yb (Aig.mux_ g ~s:ls ~a:va.(i) ~b:vb.(i)))
+        y
+    | Cell.Pmux { a; b; s; y } ->
+      let w = Bits.width a in
+      let current = ref (lv a) in
+      for i = Bits.width s - 1 downto 0 do
+        let ls = lookup s.(i) in
+        let part = lv (Bits.slice b ~off:(i * w) ~len:w) in
+        current :=
+          Array.mapi (fun j prev -> Aig.mux_ g ~s:ls ~a:prev ~b:part.(j)) !current
+      done;
+      assign_vec y !current
+    | Cell.Dff _ -> ()
+  in
+  List.iter (fun id -> map_cell (Circuit.cell c id)) (Topo.sort c);
+  (* primary outputs *)
+  List.iter
+    (fun w ->
+      Array.iteri
+        (fun i b ->
+          Aig.add_po g (Printf.sprintf "%s[%d]" w.Circuit.wire_name i) (lookup b))
+        (Circuit.sig_of_wire w))
+    (Circuit.outputs c);
+  (* dff inputs are pseudo primary outputs, keyed by the state bit fed *)
+  List.iter
+    (fun id ->
+      match Circuit.cell c id with
+      | Cell.Dff { d; q } ->
+        Array.iteri
+          (fun i b ->
+            Aig.add_po g (state_bit_name q.(i) ^ "'") (lookup b))
+          d
+      | Cell.Unary _ | Cell.Binary _ | Cell.Mux _ | Cell.Pmux _ -> ())
+    (Circuit.cell_ids c);
+  { aig = g; lit_of_bit = lookup }
+
+(* The paper's headline metric. *)
+let aig_area (c : Circuit.t) = Aig.area (map c).aig

@@ -1,0 +1,17 @@
+(** Netlist -> AIG mapping (the Yosys [aigmap] equivalent).
+
+    Circuit inputs and dff outputs become primary inputs; circuit outputs
+    and dff inputs become primary outputs.  Flip-flops therefore contribute
+    no AND gates — the paper's "AIG area excluding flip-flops". *)
+
+open Netlist
+
+type mapping = {
+  aig : Aig.t;
+  lit_of_bit : Bits.bit -> Aig.lit;  (** post-mapping bit translation *)
+}
+
+val map : Circuit.t -> mapping
+
+val aig_area : Circuit.t -> int
+(** The paper's headline metric. *)

@@ -1,0 +1,291 @@
+(* FRAIG-style SAT sweeping for equivalence checking.
+
+   Both AIGs are imported into one graph with shared primary inputs, so
+   structural hashing already merges identical cones.  Remaining nodes are
+   grouped into candidate-equivalence classes by random simulation
+   signatures (complement-canonicalized) and the candidates are proven
+   pairwise with small incremental SAT queries, processed in topological
+   order; every proven equality is added to the solver as clauses, so
+   higher cones become easy.  Counterexamples refine the signatures and
+   classification restarts (bounded).
+
+   This is what makes "all results passed equivalence checking" practical:
+   optimized circuits share most of their structure with the originals, so
+   nearly everything merges structurally or with trivial SAT calls. *)
+
+type verdict = Equivalent | Not_equivalent of string | Inconclusive
+
+(* import [src] into [dst], sharing PIs by name; returns a lit translator *)
+let import (dst : Aig.t) (src : Aig.t) : Aig.lit -> Aig.lit =
+  let pi_map = Hashtbl.create 16 in
+  List.iter
+    (fun (name, node_id) ->
+      let l =
+        match Aig.pi_lit dst name with
+        | Some l -> l
+        | None -> Aig.new_pi dst name
+      in
+      Hashtbl.replace pi_map node_id l)
+    (Aig.pis src);
+  let memo = Hashtbl.create 256 in
+  let rec node_lit id =
+    match Hashtbl.find_opt memo id with
+    | Some l -> l
+    | None ->
+      let l =
+        match Aig.node src id with
+        | Aig.Const -> Aig.false_lit
+        | Aig.Pi _ -> Hashtbl.find pi_map id
+        | Aig.And (a, b) -> Aig.and_ dst (trans a) (trans b)
+      in
+      Hashtbl.replace memo id l;
+      l
+  and trans l =
+    let nl = node_lit (Aig.node_of_lit l) in
+    if Aig.is_complemented l then Aig.negate nl else nl
+  in
+  trans
+
+type ctx = {
+  g : Aig.t;
+  solver : Cdcl.Solver.t;
+  mutable sat_lit : (Aig.lit -> Cdcl.Lit.t) option;
+  (* union-find over literals: parent of node id, as a literal *)
+  parent : (int, Aig.lit) Hashtbl.t;
+  mutable patterns : int array list; (* words per PI, newest first *)
+  mutable signatures : int array list; (* per-node words, same order *)
+  budget : int;
+}
+
+let rec find ctx (l : Aig.lit) : Aig.lit =
+  let id = Aig.node_of_lit l in
+  match Hashtbl.find_opt ctx.parent id with
+  | None -> l
+  | Some p ->
+    let root = find ctx p in
+    Hashtbl.replace ctx.parent id root;
+    if Aig.is_complemented l then Aig.negate root else root
+
+let union ctx (a : Aig.lit) (b : Aig.lit) =
+  (* a and b proven equal; attach b's root under a's *)
+  let ra = find ctx a and rb = find ctx b in
+  if Aig.node_of_lit ra <> Aig.node_of_lit rb then begin
+    (* parent of rb's node is ra adjusted for rb's phase *)
+    let target = if Aig.is_complemented rb then Aig.negate ra else ra in
+    Hashtbl.replace ctx.parent (Aig.node_of_lit rb) target
+  end
+
+let sat_lit ctx l =
+  match ctx.sat_lit with
+  | Some f -> f l
+  | None ->
+    (* encode the PO cones once; the translator extends lazily *)
+    let roots = List.map snd (Aig.pos ctx.g) in
+    let f = Aig.to_cnf ctx.g ctx.solver roots in
+    ctx.sat_lit <- Some f;
+    f l
+
+(* deterministic pseudo-random words (splitmix-style) *)
+let random_word seed idx =
+  let z = ref (seed + (idx * 0x1E3779B97F4A7C15)) in
+  z := (!z lxor (!z lsr 30)) * 0x3F58476D1CE4E5B9;
+  z := (!z lxor (!z lsr 27)) * 0x14D049BB133111EB;
+  !z lxor (!z lsr 31)
+
+(* add a fresh random pattern (one word per PI) *)
+let add_random_pattern ctx seed =
+  let n = Aig.num_pis ctx.g in
+  let words = Array.init n (fun i -> random_word seed i) in
+  ctx.patterns <- words :: ctx.patterns;
+  ctx.signatures <- Aig.simulate ctx.g words :: ctx.signatures
+
+(* add a counterexample pattern from the current SAT model (the model is
+   read before the next solver mutation invalidates it) *)
+let add_cex_pattern ctx =
+  let pis = Aig.pis ctx.g in
+  let words = Array.make (List.length pis) 0 in
+  List.iteri
+    (fun i (_, node_id) ->
+      let sl = sat_lit ctx (Aig.lit_of_node node_id) in
+      let v = Cdcl.Solver.model_value ctx.solver (Cdcl.Lit.var sl) in
+      let v = if Cdcl.Lit.is_negated sl then not v else v in
+      words.(i) <- (if v then -1 else 0))
+    pis;
+  ctx.patterns <- words :: ctx.patterns;
+  ctx.signatures <- Aig.simulate ctx.g words :: ctx.signatures
+
+(* signature of a literal across all patterns, complement-canonicalized:
+   returns (key, phase) so that complements share a class *)
+let signature ctx (l : Aig.lit) : string * bool =
+  let id = Aig.node_of_lit l in
+  let buf = Buffer.create 32 in
+  let first_bit = ref false in
+  let first = ref true in
+  List.iter
+    (fun values ->
+      let w = values.(id) in
+      let w = if Aig.is_complemented l then lnot w else w in
+      if !first then begin
+        first := false;
+        first_bit := w land 1 = 1
+      end;
+      let w = if !first_bit then lnot w else w in
+      Buffer.add_string buf (string_of_int w);
+      Buffer.add_char buf ',')
+    ctx.signatures;
+  Buffer.contents buf, !first_bit
+
+(* Are two literals equal for all inputs?  Two bounded SAT calls; proven
+   equalities are recorded as clauses.  [`Equal | `Diff | `Unknown]. *)
+let prove_equal ctx (a : Aig.lit) (b : Aig.lit) =
+  let sa = sat_lit ctx a and sb = sat_lit ctx b in
+  let r1 =
+    Cdcl.Solver.solve ~budget:ctx.budget
+      ~assumptions:[ sa; Cdcl.Lit.negate sb ] ctx.solver
+  in
+  match r1 with
+  | Cdcl.Solver.Sat ->
+    add_cex_pattern ctx;
+    `Diff
+  | Cdcl.Solver.Unknown -> `Unknown
+  | Cdcl.Solver.Unsat -> (
+    let r2 =
+      Cdcl.Solver.solve ~budget:ctx.budget
+        ~assumptions:[ Cdcl.Lit.negate sa; sb ] ctx.solver
+    in
+    match r2 with
+    | Cdcl.Solver.Sat ->
+      add_cex_pattern ctx;
+      `Diff
+    | Cdcl.Solver.Unknown -> `Unknown
+    | Cdcl.Solver.Unsat ->
+      (* a = b everywhere: teach the solver *)
+      Cdcl.Solver.add_clause ctx.solver [ Cdcl.Lit.negate sa; sb ];
+      Cdcl.Solver.add_clause ctx.solver [ sa; Cdcl.Lit.negate sb ];
+      union ctx a b;
+      `Equal)
+
+(* one sweep over all nodes in id (topological) order *)
+let sweep ctx =
+  let classes : (string, Aig.lit) Hashtbl.t = Hashtbl.create 256 in
+  let unknowns = ref 0 in
+  (* nodes were created in topological order: iterate ids upward *)
+  let num_nodes =
+    match ctx.signatures with
+    | values :: _ -> Array.length values
+    | [] -> 0
+  in
+  for id = 1 to num_nodes - 1 do
+    match Aig.node ctx.g id with
+    | Aig.Const | Aig.Pi _ -> ()
+    | Aig.And _ ->
+      let l = Aig.lit_of_node id in
+      if Aig.node_of_lit (find ctx l) = id then begin
+        (* not merged yet: classify *)
+        let key, phase = signature ctx l in
+        let this = if phase then Aig.negate l else l in
+        match Hashtbl.find_opt classes key with
+        | None -> Hashtbl.replace classes key this
+        | Some candidate -> (
+          match prove_equal ctx candidate this with
+          | `Equal -> ()
+          | `Diff ->
+            (* signatures refined; future keys differ automatically *)
+            ()
+          | `Unknown -> incr unknowns)
+      end
+  done;
+  !unknowns
+
+let check_aigs ?(rounds = 8) ?(budget = 3000) (g1 : Aig.t) (g2 : Aig.t) :
+    verdict =
+  (* outputs must match by name *)
+  let pos2 = Hashtbl.create 16 in
+  List.iter (fun (n, l) -> Hashtbl.replace pos2 n l) (Aig.pos g2);
+  let missing =
+    List.find_opt (fun (n, _) -> not (Hashtbl.mem pos2 n)) (Aig.pos g1)
+  in
+  match missing with
+  | Some (n, _) -> Not_equivalent n
+  | None ->
+    if List.length (Aig.pos g1) <> List.length (Aig.pos g2) then
+      let pos1 = Hashtbl.create 16 in
+      List.iter (fun (n, l) -> Hashtbl.replace pos1 n l) (Aig.pos g1);
+      (match
+         List.find_opt (fun (n, _) -> not (Hashtbl.mem pos1 n)) (Aig.pos g2)
+       with
+      | Some (n, _) -> Not_equivalent n
+      | None -> Inconclusive)
+    else begin
+      let g = Aig.create () in
+      let t1 = import g g1 in
+      let t2 = import g g2 in
+      let pairs =
+        List.map
+          (fun (n, l) -> n, t1 l, t2 (Hashtbl.find pos2 n))
+          (Aig.pos g1)
+      in
+      (* fast path: everything merged structurally *)
+      if List.for_all (fun (_, a, b) -> a = b) pairs then Equivalent
+      else begin
+        (* register POs so the CNF encoder covers every cone *)
+        List.iter
+          (fun (n, a, b) ->
+            Aig.add_po g (n ^ "$1") a;
+            Aig.add_po g (n ^ "$2") b)
+          pairs;
+        let ctx =
+          {
+            g;
+            solver = Cdcl.Solver.create ();
+            sat_lit = None;
+            parent = Hashtbl.create 256;
+            patterns = [];
+            signatures = [];
+            budget;
+          }
+        in
+        for r = 1 to rounds do
+          add_random_pattern ctx (0x5eed + r)
+        done;
+        let _unknowns = sweep ctx in
+        (* second sweep benefits from refined signatures and learned
+           equalities *)
+        let _unknowns = sweep ctx in
+        (* final per-output check *)
+        let rec check_pairs = function
+          | [] -> Equivalent
+          | (n, a, b) :: rest ->
+            let ra = find ctx a and rb = find ctx b in
+            if ra = rb then check_pairs rest
+            else begin
+              (* one last, better-armed SAT attempt with a bigger budget *)
+              let sa = sat_lit ctx a and sb = sat_lit ctx b in
+              let r1 =
+                Cdcl.Solver.solve ~budget:(ctx.budget * 20)
+                  ~assumptions:[ sa; Cdcl.Lit.negate sb ]
+                  ctx.solver
+              in
+              match r1 with
+              | Cdcl.Solver.Sat -> Not_equivalent n
+              | Cdcl.Solver.Unknown -> Inconclusive
+              | Cdcl.Solver.Unsat -> (
+                let r2 =
+                  Cdcl.Solver.solve ~budget:(ctx.budget * 20)
+                    ~assumptions:[ Cdcl.Lit.negate sa; sb ]
+                    ctx.solver
+                in
+                match r2 with
+                | Cdcl.Solver.Sat -> Not_equivalent n
+                | Cdcl.Solver.Unknown -> Inconclusive
+                | Cdcl.Solver.Unsat ->
+                  Cdcl.Solver.add_clause ctx.solver
+                    [ Cdcl.Lit.negate sa; sb ];
+                  Cdcl.Solver.add_clause ctx.solver
+                    [ sa; Cdcl.Lit.negate sb ];
+                  check_pairs rest)
+            end
+        in
+        check_pairs pairs
+      end
+    end

@@ -1,0 +1,14 @@
+(** FRAIG-style SAT sweeping for equivalence checking.
+
+    Both AIGs are imported into one graph with shared primary inputs
+    (structural hashing merges identical cones), candidate-equivalent
+    nodes are grouped by simulation signatures, and candidates are proven
+    bottom-up with bounded incremental SAT queries whose results are
+    learned as clauses — so output-level checks become trivial on
+    structurally related circuits. *)
+
+type verdict = Equivalent | Not_equivalent of string | Inconclusive
+
+val check_aigs : ?rounds:int -> ?budget:int -> Aig.t -> Aig.t -> verdict
+(** [rounds] initial random simulation patterns; [budget] conflicts per
+    candidate query (the final output checks get 20x). *)

@@ -1,0 +1,39 @@
+(* Tuning knobs for the smaRTLy passes, mirroring the thresholds the paper
+   describes in Section II. *)
+
+type t = {
+  distance_k : int;
+      (* gates within this distance of a control port join the sub-graph *)
+  sim_input_threshold : int;
+      (* <= this many free sub-graph inputs: exhaustive simulation *)
+  sat_input_threshold : int;
+      (* <= this many inputs: SAT; above: forgo the query (paper's
+         "threshold for the number of inputs") *)
+  sat_conflict_budget : int; (* conflict cap per SAT query *)
+  max_subgraph_cells : int; (* forgo queries on larger sub-graphs *)
+  enable_inference_rules : bool; (* Table I propagation *)
+  enable_pruning : bool; (* Theorem II.1 sub-graph pruning *)
+  enable_sat : bool; (* the SAT-based redundancy elimination *)
+  enable_rebuild : bool; (* muxtree restructuring *)
+  rebuild_single_ctrl : bool;
+      (* enforce the paper's SingleCtrl condition; [false] additionally
+         rebuilds chains over several independent condition signals (an
+         extension of this implementation) *)
+}
+
+let default =
+  {
+    distance_k = 6;
+    sim_input_threshold = 11;
+    sat_input_threshold = 96;
+    sat_conflict_budget = 4000;
+    max_subgraph_cells = 600;
+    enable_inference_rules = true;
+    enable_pruning = true;
+    enable_sat = true;
+    enable_rebuild = true;
+    rebuild_single_ctrl = true;
+  }
+
+let sat_only = { default with enable_rebuild = false }
+let rebuild_only = { default with enable_sat = false }

@@ -1,0 +1,27 @@
+(** Tuning knobs for the smaRTLy passes (paper Section II thresholds). *)
+
+type t = {
+  distance_k : int;
+      (** gates within this distance of a control port join the sub-graph *)
+  sim_input_threshold : int;
+      (** at most this many free inputs: exhaustive simulation *)
+  sat_input_threshold : int;
+      (** at most this many inputs: SAT query; above: forgo *)
+  sat_conflict_budget : int;  (** conflict cap per SAT query *)
+  max_subgraph_cells : int;  (** forgo queries on larger sub-graphs *)
+  enable_inference_rules : bool;  (** Table I propagation *)
+  enable_pruning : bool;  (** Theorem II.1 sub-graph pruning *)
+  enable_sat : bool;  (** the SAT-based redundancy elimination pass *)
+  enable_rebuild : bool;  (** the muxtree restructuring pass *)
+  rebuild_single_ctrl : bool;
+      (** enforce the paper's SingleCtrl condition; [false] extends the
+          rebuild to chains over several independent condition signals *)
+}
+
+val default : t
+
+val sat_only : t
+(** Restructuring disabled (Table III's "SAT" column). *)
+
+val rebuild_only : t
+(** SAT elimination disabled (Table III's "Rebuild" column). *)

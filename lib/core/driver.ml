@@ -1,0 +1,64 @@
+(* Top-level optimization flows.
+
+   [yosys]   — the baseline: opt_expr + opt_muxtree + opt_clean to fixpoint.
+   [smartly] — the paper's flow: opt_muxtree is *replaced* by SAT-based
+               redundancy elimination and muxtree restructuring, again
+               interleaved with expression folding and cleanup. *)
+
+open Netlist
+
+type result = {
+  iterations : int;
+  sat_reports : Sat_elim.report list;
+  rebuild_reports : Restructure.report list;
+}
+
+let yosys (c : Circuit.t) : Rtl_opt.Flow.report = Rtl_opt.Flow.baseline c
+
+let smartly ?(cfg = Config.default) (c : Circuit.t) : result =
+  let sat_reports = ref [] in
+  let rebuild_reports = ref [] in
+  let rec loop iter =
+    if iter >= 6 then iter
+    else begin
+      let e = Rtl_opt.Opt_expr.run c + Rtl_opt.Opt_merge.run c in
+      let sat_changed =
+        if cfg.Config.enable_sat then begin
+          let r = Sat_elim.run_once cfg c in
+          sat_reports := r :: !sat_reports;
+          Sat_elim.changed r
+        end
+        else false
+      in
+      let rebuild_changed =
+        if cfg.Config.enable_rebuild then begin
+          let r =
+            Restructure.run_once
+              ~single_ctrl:cfg.Config.rebuild_single_ctrl c
+          in
+          rebuild_reports := r :: !rebuild_reports;
+          Restructure.changed r
+        end
+        else false
+      in
+      let removed = Rtl_opt.Opt_clean.run c in
+      if e > 0 || sat_changed || rebuild_changed || removed > 0 then
+        loop (iter + 1)
+      else iter + 1
+    end
+  in
+  let iterations = loop 0 in
+  {
+    iterations;
+    sat_reports = List.rev !sat_reports;
+    rebuild_reports = List.rev !rebuild_reports;
+  }
+
+(* Convenience wrappers returning the AIG area after optimization. *)
+
+let optimize_and_measure flow (c : Circuit.t) =
+  (match flow with
+  | `None -> ()
+  | `Yosys -> ignore (yosys c)
+  | `Smartly cfg -> ignore (smartly ~cfg c));
+  Aiger.Aigmap.aig_area c

@@ -1,0 +1,25 @@
+(** Top-level optimization flows.
+
+    {!yosys} is the baseline [opt] loop with [opt_muxtree]; {!smartly}
+    replaces [opt_muxtree] with SAT-based redundancy elimination and
+    muxtree restructuring, keeping everything else identical — exactly the
+    paper's experimental setup. *)
+
+open Netlist
+
+type result = {
+  iterations : int;
+  sat_reports : Sat_elim.report list;
+  rebuild_reports : Restructure.report list;
+}
+
+val yosys : Circuit.t -> Rtl_opt.Flow.report
+
+val smartly : ?cfg:Config.t -> Circuit.t -> result
+(** Interleaves expression folding, cell sharing, SAT elimination,
+    restructuring and cleanup until a fixpoint (capped at 6 iterations —
+    measured convergence is 2-4). *)
+
+val optimize_and_measure :
+  [ `None | `Yosys | `Smartly of Config.t ] -> Circuit.t -> int
+(** Run the flow in place and return the resulting AIG area. *)

@@ -1,0 +1,208 @@
+(* Deciding whether a target bit is forced under known values: cheap
+   inference rules first, then exhaustive simulation when the sub-graph has
+   few free inputs, otherwise an incremental SAT query (the paper's
+   MiniSAT role, played by our CDCL solver).  Beyond the input threshold
+   the query is forgone to bound the optimization cost. *)
+
+open Netlist
+
+type verdict =
+  | Forced of bool
+  | Free (* provably takes both values *)
+  | Unreachable (* the known values are contradictory: dead path *)
+  | Unknown (* budget exhausted / thresholds exceeded *)
+
+type stats = {
+  mutable rule_hits : int;
+  mutable sim_queries : int;
+  mutable sat_queries : int;
+  mutable forgone : int;
+  mutable subgraph_kept : int;
+  mutable subgraph_dropped : int;
+}
+
+let fresh_stats () =
+  {
+    rule_hits = 0;
+    sim_queries = 0;
+    sat_queries = 0;
+    forgone = 0;
+    subgraph_kept = 0;
+    subgraph_dropped = 0;
+  }
+
+(* --- exhaustive simulation --- *)
+
+(* Enumerate all assignments of [free_inputs]; rows violating a known value
+   of an internal signal are discarded; check whether [target] is constant
+   over the surviving rows. *)
+let simulate_exhaustive (circuit : Circuit.t) (view : Subgraph.view)
+    (known : Inference.known) ~(free_inputs : Bits.bit list)
+    ~(target : Bits.bit) : verdict =
+  let n = List.length free_inputs in
+  let lanes = min Rtl_sim.Vector.lanes_max 62 in
+  let total = 1 lsl n in
+  (* bits the view actually computes *)
+  let internal = Bits.Bit_tbl.create 64 in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun b -> Bits.Bit_tbl.replace internal b ())
+        (Cell.output_bits (Circuit.cell circuit id)))
+    view.Subgraph.cells;
+  let is_source b = List.exists (Bits.bit_equal b) view.Subgraph.sources in
+  (* only filter on knowns whose value the simulation reproduces *)
+  let check_bits =
+    Bits.Bit_tbl.fold
+      (fun b v acc ->
+        if Bits.Bit_tbl.mem internal b || is_source b then (b, v) :: acc
+        else acc)
+      known []
+  in
+  let saw_true = ref false and saw_false = ref false in
+  let chunk_start = ref 0 in
+  (try
+     while !chunk_start < total do
+       let lanes_here = min lanes (total - !chunk_start) in
+       let env = Rtl_sim.Vector.create ~lanes:lanes_here () in
+       (* lane j encodes assignment index chunk_start + j *)
+       List.iteri
+         (fun bit_idx b ->
+           let word = ref 0 in
+           for j = 0 to lanes_here - 1 do
+             let assignment = !chunk_start + j in
+             if (assignment lsr bit_idx) land 1 = 1 then
+               word := !word lor (1 lsl j)
+           done;
+           Rtl_sim.Vector.write env b !word)
+         free_inputs;
+       (* known source values (constants across lanes) *)
+       Bits.Bit_tbl.iter
+         (fun b v ->
+           if
+             is_source b
+             && not (List.exists (Bits.bit_equal b) free_inputs)
+           then
+             Rtl_sim.Vector.write env b
+               (if v then (1 lsl lanes_here) - 1 else 0))
+         known;
+       Rtl_sim.Vector.eval_ordered circuit env view.Subgraph.cells;
+       (* filter lanes violating internal knowns *)
+       let valid = ref ((1 lsl lanes_here) - 1) in
+       List.iter
+         (fun (b, v) ->
+           let w = Rtl_sim.Vector.read env b in
+           let mask = (1 lsl lanes_here) - 1 in
+           let agree = if v then w else lnot w land mask in
+           valid := !valid land agree)
+         check_bits;
+       let tv = Rtl_sim.Vector.read env target in
+       let mask = (1 lsl lanes_here) - 1 in
+       if !valid land tv <> 0 then saw_true := true;
+       if !valid land (lnot tv land mask) <> 0 then saw_false := true;
+       if !saw_true && !saw_false then raise Exit;
+       chunk_start := !chunk_start + lanes_here
+     done
+   with Exit -> ());
+  match !saw_true, !saw_false with
+  | true, true -> Free
+  | true, false -> Forced true
+  | false, true -> Forced false
+  | false, false -> Unreachable
+
+(* --- SAT --- *)
+
+let query_sat (circuit : Circuit.t) (view : Subgraph.view)
+    (known : Inference.known) ~budget ~(target : Bits.bit) : verdict =
+  let enc = Cdcl.Tseitin.create () in
+  Cdcl.Tseitin.encode_cells enc circuit view.Subgraph.cells;
+  let assumptions =
+    Bits.Bit_tbl.fold
+      (fun b v acc -> Cdcl.Tseitin.assume_lit enc b v :: acc)
+      known []
+  in
+  match
+    Cdcl.Tseitin.query_forced ~budget enc ~assumptions ~target
+  with
+  | Cdcl.Tseitin.Forced v -> Forced v
+  | Cdcl.Tseitin.Free -> Free
+  | Cdcl.Tseitin.Undetermined -> Unknown
+
+(* --- the combined engine --- *)
+
+(* Determine [target] under [known].  A fresh bounded sub-graph is built
+   from the distance-k cones of the target and of every known signal (the
+   only gates Theorem II.1 allows to matter), then pruned.  [known] is
+   copied; the caller's map is never polluted by inferred values. *)
+let determine (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
+    (index : Index.t) (known : Inference.known) ~(target : Bits.bit) :
+    verdict =
+  match Inference.read known target with
+  | Some v -> Forced v (* identical-signal case, free *)
+  | None ->
+    let sg = Subgraph.create circuit index in
+    let k = cfg.Config.distance_k in
+    Subgraph.add_cone sg ~k target;
+    Bits.Bit_tbl.iter (fun b _ -> Subgraph.add_cone sg ~k b) known;
+    if Subgraph.size sg > cfg.Config.max_subgraph_cells then begin
+      stats.forgone <- stats.forgone + 1;
+      Unknown
+    end
+    else begin
+    let relevant =
+      target :: Bits.Bit_tbl.fold (fun b _ acc -> b :: acc) known []
+    in
+    let view =
+      if cfg.Config.enable_pruning then Subgraph.prune sg ~relevant
+      else Subgraph.full_view sg
+    in
+    stats.subgraph_kept <- stats.subgraph_kept + view.Subgraph.kept;
+    stats.subgraph_dropped <- stats.subgraph_dropped + view.Subgraph.dropped;
+    (* target not even in the pruned sub-graph (neither computed by it nor
+       one of its sources): no relation to knowns, nothing to infer from *)
+    let target_inside =
+      List.exists (Bits.bit_equal target) view.Subgraph.sources
+      || List.exists
+           (fun id ->
+             List.exists (Bits.bit_equal target)
+               (Cell.output_bits (Circuit.cell circuit id)))
+           view.Subgraph.cells
+    in
+    if not target_inside then Unknown
+    else begin
+      let local = Bits.Bit_tbl.copy known in
+      match
+        if cfg.Config.enable_inference_rules then begin
+          let _sweeps =
+            Inference.propagate circuit local view.Subgraph.cells
+          in
+          Inference.read local target
+        end
+        else None
+      with
+      | Some v ->
+        stats.rule_hits <- stats.rule_hits + 1;
+        Forced v
+      | None ->
+        let free_inputs =
+          List.filter
+            (fun b -> not (Bits.Bit_tbl.mem local b))
+            view.Subgraph.sources
+        in
+        let n = List.length free_inputs in
+        if n <= cfg.Config.sim_input_threshold then begin
+          stats.sim_queries <- stats.sim_queries + 1;
+          simulate_exhaustive circuit view local ~free_inputs ~target
+        end
+        else if n <= cfg.Config.sat_input_threshold then begin
+          stats.sat_queries <- stats.sat_queries + 1;
+          query_sat circuit view local ~budget:cfg.Config.sat_conflict_budget
+            ~target
+        end
+        else begin
+          stats.forgone <- stats.forgone + 1;
+          Unknown
+        end
+      | exception Inference.Contradiction -> Unreachable
+    end
+    end

@@ -1,0 +1,55 @@
+(** The combined decision engine: is a signal forced under path facts?
+
+    Resolution ladder, exactly the paper's: direct lookup (the Yosys
+    identical-signal rule), inference rules, exhaustive bit-parallel
+    simulation when the pruned sub-graph has few free inputs, an
+    incremental SAT query otherwise, and a give-up threshold. *)
+
+open Netlist
+
+type verdict =
+  | Forced of bool
+  | Free  (** provably takes both values *)
+  | Unreachable  (** the facts are contradictory: dead path *)
+  | Unknown  (** thresholds exceeded or budget exhausted *)
+
+type stats = {
+  mutable rule_hits : int;
+  mutable sim_queries : int;
+  mutable sat_queries : int;
+  mutable forgone : int;
+  mutable subgraph_kept : int;
+  mutable subgraph_dropped : int;
+}
+
+val fresh_stats : unit -> stats
+
+val simulate_exhaustive :
+  Circuit.t ->
+  Subgraph.view ->
+  Inference.known ->
+  free_inputs:Bits.bit list ->
+  target:Bits.bit ->
+  verdict
+(** Enumerate all assignments of the free sub-graph inputs; rows violating
+    an internal known value are discarded. *)
+
+val query_sat :
+  Circuit.t ->
+  Subgraph.view ->
+  Inference.known ->
+  budget:int ->
+  target:Bits.bit ->
+  verdict
+
+val determine :
+  Config.t ->
+  stats ->
+  Circuit.t ->
+  Index.t ->
+  Inference.known ->
+  target:Bits.bit ->
+  verdict
+(** Build the bounded sub-graph from the cones of the target and the known
+    signals, prune it (Theorem II.1), and run the ladder.  The caller's
+    known map is never polluted with inferred values. *)

@@ -1,0 +1,24 @@
+(** Rule-based value inference (paper Table I, generalized to every cell
+    kind): forward evaluation with partially-known inputs plus backward
+    rules such as [a|b = 0 ⊢ a = b = 0] and [a|b = 1, a = 0 ⊢ b = 1]. *)
+
+open Netlist
+
+exception Contradiction
+(** The known values are inconsistent: the current path is unreachable. *)
+
+type known = bool Bits.Bit_tbl.t
+
+val read : known -> Bits.bit -> bool option
+(** Constants read as themselves. *)
+
+val set : known -> Bits.bit -> bool -> bool
+(** Record a fact; [true] when it is new information.
+    @raise Contradiction when it conflicts. *)
+
+val step : known -> Cell.t -> bool
+(** One propagation step through a cell; [true] on progress. *)
+
+val propagate : Circuit.t -> known -> int list -> int
+(** Sweep the given cells to fixpoint; returns the sweep count.
+    @raise Contradiction when the facts are inconsistent. *)

@@ -1,0 +1,271 @@
+(* SAT-based redundancy elimination (Section II of the paper).
+
+   The traversal mirrors the Yosys opt_muxtree baseline, but a descendant
+   mux's control is resolved with the full inference engine (known-value
+   lookup -> inference rules -> exhaustive simulation -> SAT) instead of
+   only by identical-signal matching.  Data-port bits determined by the
+   inference rules under the path condition are replaced by constants.
+
+   Per query, a bounded sub-graph is built from the distance-k fanin cones
+   of the visited control ports (the paper's incremental accumulation,
+   restricted to the facts on the current path), pruned with Theorem II.1,
+   and handed to the engine. *)
+
+open Netlist
+module OM = Rtl_opt.Opt_muxtree
+
+type report = {
+  muxes_bypassed : int;
+  data_bits_folded : int;
+  dead_branches : int;
+  engine : Engine.stats;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "bypassed=%d data_folded=%d dead=%d rules=%d sim=%d sat=%d forgone=%d \
+     kept=%d dropped=%d"
+    r.muxes_bypassed r.data_bits_folded r.dead_branches
+    r.engine.Engine.rule_hits r.engine.Engine.sim_queries
+    r.engine.Engine.sat_queries r.engine.Engine.forgone
+    r.engine.Engine.subgraph_kept r.engine.Engine.subgraph_dropped
+
+type ctx = {
+  cfg : Config.t;
+  c : Circuit.t;
+  index : Index.t;
+  readers : OM.readers;
+  stats : Engine.stats;
+  mutable bypassed : int;
+  mutable folded : int;
+  mutable dead : int;
+}
+
+let is_mux = function
+  | Cell.Mux _ | Cell.Pmux _ -> true
+  | Cell.Unary _ | Cell.Binary _ | Cell.Dff _ -> false
+
+let with_fact known (bit : Bits.bit) v =
+  let known' = Bits.Bit_tbl.copy known in
+  (match bit with
+  | Bits.Of_wire _ -> Bits.Bit_tbl.replace known' bit v
+  | Bits.C0 | Bits.C1 | Bits.Cx -> ());
+  known'
+
+(* Resolve the select bit of a descendant mux under [known]:
+   1. direct lookup (identical signal, the Yosys rule)
+   2. full engine (rules / simulation / SAT) *)
+let resolve_select ctx known (s : Bits.bit) : Engine.verdict =
+  match Inference.read known s with
+  | Some v -> Engine.Forced v
+  | None ->
+    (match s with
+    | Bits.C0 -> Engine.Forced false
+    | Bits.C1 -> Engine.Forced true
+    | Bits.Cx -> Engine.Unknown
+    | Bits.Of_wire _ ->
+      if Bits.Bit_tbl.length known = 0 then
+        (* no path facts: only constants could be proven; opt_expr already
+           covers those, skip the expensive query *)
+        Engine.Unknown
+      else
+        Engine.determine ctx.cfg ctx.stats ctx.c ctx.index known ~target:s)
+
+(* Substitute data-port bits under [known]: direct lookups plus values the
+   inference rules derive on a bounded view built from the cones of the
+   known signals and of the port bits themselves. *)
+let fold_data_bits ctx known (port : Bits.sigspec) : Bits.sigspec * bool =
+  let local =
+    if
+      ctx.cfg.Config.enable_inference_rules
+      && Bits.Bit_tbl.length known > 0
+    then begin
+      let sg = Subgraph.create ctx.c ctx.index in
+      let k = ctx.cfg.Config.distance_k in
+      Bits.Bit_tbl.iter (fun b _ -> Subgraph.add_cone sg ~k b) known;
+      Array.iter (fun b -> Subgraph.add_cone sg ~k b) port;
+      if Subgraph.size sg > ctx.cfg.Config.max_subgraph_cells then known
+      else begin
+      let relevant =
+        Array.to_list port
+        @ Bits.Bit_tbl.fold (fun b _ acc -> b :: acc) known []
+      in
+      let view =
+        if ctx.cfg.Config.enable_pruning then Subgraph.prune sg ~relevant
+        else Subgraph.full_view sg
+      in
+      let local = Bits.Bit_tbl.copy known in
+      match Inference.propagate ctx.c local view.Subgraph.cells with
+      | _ -> local
+      | exception Inference.Contradiction -> known
+      end
+    end
+    else known
+  in
+  let changed = ref false in
+  let out =
+    Array.map
+      (fun b ->
+        match Inference.read local b with
+        | Some v ->
+          let nb = if v then Bits.C1 else Bits.C0 in
+          if not (Bits.bit_equal nb b) then begin
+            changed := true;
+            ctx.folded <- ctx.folded + 1
+          end;
+          nb
+        | None -> b)
+      port
+  in
+  out, !changed
+
+(* Chase a data bit through dedicated descendant muxes whose selects the
+   engine can resolve.  [cache] memoizes select verdicts for the duration
+   of one port resolution: a 16-bit port driven by one child mux asks one
+   engine query, not sixteen. *)
+let rec chase ctx known ~cache ~loc (bit : Bits.bit) : Bits.bit =
+  match Index.driving_cell ctx.index bit with
+  | None -> bit
+  | Some (child_id, off) -> (
+    match Circuit.cell_opt ctx.c child_id with
+    | Some (Cell.Mux { a; b; s; _ } as child)
+      when OM.dedicated_location ctx.readers child = Some loc -> (
+      let verdict =
+        match Bits.Bit_tbl.find_opt cache s with
+        | Some v -> v
+        | None ->
+          let v = resolve_select ctx known s in
+          Bits.Bit_tbl.replace cache s v;
+          v
+      in
+      match verdict with
+      | Engine.Forced v ->
+        ctx.bypassed <- ctx.bypassed + 1;
+        chase ctx known ~cache ~loc (if v then b.(off) else a.(off))
+      | Engine.Unreachable ->
+        (* dead path: the value is never observed; pick branch a *)
+        ctx.dead <- ctx.dead + 1;
+        chase ctx known ~cache ~loc a.(off)
+      | Engine.Free | Engine.Unknown -> bit)
+    | Some _ | None -> bit)
+
+let resolve_port ctx known ~loc (port : Bits.sigspec) : Bits.sigspec * bool =
+  let folded, changed_f = fold_data_bits ctx known port in
+  let changed = ref changed_f in
+  let cache : Engine.verdict Bits.Bit_tbl.t = Bits.Bit_tbl.create 8 in
+  let out =
+    Array.map
+      (fun b ->
+        let nb = chase ctx known ~cache ~loc b in
+        if not (Bits.bit_equal nb b) then changed := true;
+        nb)
+      folded
+  in
+  out, !changed
+
+let port_children ctx ~loc (port : Bits.sigspec) : int list =
+  Array.to_list port
+  |> List.filter_map (fun bit ->
+         match Index.driving_cell ctx.index bit with
+         | Some (id, _) -> (
+           match Circuit.cell_opt ctx.c id with
+           | Some child
+             when is_mux child
+                  && OM.dedicated_location ctx.readers child = Some loc ->
+             Some id
+           | Some _ | None -> None)
+         | None -> None)
+  |> List.sort_uniq compare
+
+let rec visit ctx visited known (id : int) =
+  if not (Hashtbl.mem visited id) then begin
+    Hashtbl.replace visited id ();
+    match Circuit.cell_opt ctx.c id with
+    | None -> ()
+    | Some (Cell.Mux { a; b; s; y }) ->
+      let known_a = with_fact known s false in
+      let known_b = with_fact known s true in
+      let a', ca = resolve_port ctx known_a ~loc:(id, OM.Side_a) a in
+      let b', cb = resolve_port ctx known_b ~loc:(id, OM.Side_b 0) b in
+      if ca || cb then
+        Circuit.replace_cell ctx.c id (Cell.Mux { a = a'; b = b'; s; y });
+      List.iter
+        (fun cid -> visit ctx visited known_a cid)
+        (port_children ctx ~loc:(id, OM.Side_a) a');
+      List.iter
+        (fun cid -> visit ctx visited known_b cid)
+        (port_children ctx ~loc:(id, OM.Side_b 0) b')
+    | Some (Cell.Pmux { a; b; s; y }) ->
+      let w = Bits.width a in
+      let n = Bits.width s in
+      let known_def = ref (Bits.Bit_tbl.copy known) in
+      Array.iter (fun sb -> known_def := with_fact !known_def sb false) s;
+      let a', ca = resolve_port ctx !known_def ~loc:(id, OM.Side_a) a in
+      let b' = Array.copy b in
+      let changed_b = ref false in
+      let part_known i =
+        (* priority facts: s_i = 1 and the nearest earlier selects = 0
+           (capped to bound the sub-graph cones on very wide pmuxes) *)
+        let kp = ref (Bits.Bit_tbl.copy known) in
+        for j = max 0 (i - 12) to i - 1 do
+          kp := with_fact !kp s.(j) false
+        done;
+        kp := with_fact !kp s.(i) true;
+        !kp
+      in
+      for i = 0 to n - 1 do
+        let part = Bits.slice b ~off:(i * w) ~len:w in
+        let part', cp =
+          resolve_port ctx (part_known i) ~loc:(id, OM.Side_b i) part
+        in
+        if cp then begin
+          changed_b := true;
+          Array.blit part' 0 b' (i * w) w
+        end
+      done;
+      if ca || !changed_b then
+        Circuit.replace_cell ctx.c id (Cell.Pmux { a = a'; b = b'; s; y });
+      List.iter
+        (fun cid -> visit ctx visited !known_def cid)
+        (port_children ctx ~loc:(id, OM.Side_a) a');
+      for i = 0 to n - 1 do
+        let part = Bits.slice b' ~off:(i * w) ~len:w in
+        List.iter
+          (fun cid -> visit ctx visited (part_known i) cid)
+          (port_children ctx ~loc:(id, OM.Side_b i) part)
+      done
+    | Some (Cell.Unary _ | Cell.Binary _ | Cell.Dff _) -> ()
+  end
+
+let run_once (cfg : Config.t) (c : Circuit.t) : report =
+  let index = Index.build c in
+  let ctx =
+    {
+      cfg;
+      c;
+      index;
+      readers = OM.collect_readers c;
+      stats = Engine.fresh_stats ();
+      bypassed = 0;
+      folded = 0;
+      dead = 0;
+    }
+  in
+  let visited = Hashtbl.create 64 in
+  let roots =
+    List.filter
+      (fun id ->
+        let cell = Circuit.cell c id in
+        is_mux cell && OM.dedicated_location ctx.readers cell = None)
+      (Circuit.cell_ids c)
+  in
+  List.iter (fun id -> visit ctx visited (Bits.Bit_tbl.create 8) id) roots;
+  {
+    muxes_bypassed = ctx.bypassed;
+    data_bits_folded = ctx.folded;
+    dead_branches = ctx.dead;
+    engine = ctx.stats;
+  }
+
+let changed (r : report) =
+  r.muxes_bypassed + r.data_bits_folded + r.dead_branches > 0

@@ -1,0 +1,23 @@
+(** SAT-based redundancy elimination (paper Section II).
+
+    The traversal mirrors the Yosys opt_muxtree baseline, but descendant
+    controls are resolved with the full {!Engine} ladder instead of only by
+    identical-signal matching, and data-port bits determined by the
+    inference rules under the path condition become constants. *)
+
+open Netlist
+
+type report = {
+  muxes_bypassed : int;  (** per-bit bypasses of resolved descendants *)
+  data_bits_folded : int;
+  dead_branches : int;  (** contradictory path conditions found *)
+  engine : Engine.stats;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run_once : Config.t -> Circuit.t -> report
+(** One full traversal of every muxtree.  Interleave with opt_expr /
+    opt_clean and iterate (see {!Driver.smartly}). *)
+
+val changed : report -> bool

@@ -1,0 +1,37 @@
+(** Bounded sub-graph extraction for the redundancy-elimination queries
+    (paper Section II).
+
+    Control ports contribute their distance-k fanin cones; sequential cells
+    are excluded so the sub-graph stays a DAG.  {!prune} applies Theorem
+    II.1: signals can only affect each other when their fanin cones share a
+    source, so gates in groups unrelated to any known signal (or the
+    target) are dismissed. *)
+
+open Netlist
+
+type t
+
+val create : Circuit.t -> Index.t -> t
+
+val add_cone : t -> k:int -> Bits.bit -> unit
+(** Add the combinational gates within distance [k] above [bit]. *)
+
+val size : t -> int
+(** Accumulated cell count. *)
+
+val cell_ids : t -> int list
+
+(** A pruned, topologically ordered view ready for querying. *)
+type view = {
+  cells : int list;  (** drivers first *)
+  sources : Bits.bit list;  (** bits read but not driven inside *)
+  kept : int;
+  dropped : int;  (** cells dismissed by the Theorem II.1 grouping *)
+}
+
+val prune : t -> relevant:Bits.bit list -> view
+(** Keep only the gates grouped (by shared fanin sources) with at least one
+    relevant bit. *)
+
+val full_view : t -> view
+(** No pruning (for the ablation). *)

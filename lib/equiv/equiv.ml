@@ -1,0 +1,116 @@
+(* Combinational equivalence checking of two circuits.
+
+   Both circuits are mapped to AIGs; primary inputs/outputs are matched by
+   name (flip-flop boundaries become pseudo PIs/POs, so sequential designs
+   are checked as their combinational transition+output functions — exact
+   for the optimizations in this repository, which never touch dffs).
+
+   A miter (OR of output XORs) is encoded to CNF and solved: UNSAT means
+   equivalent. *)
+
+open Netlist
+
+type verdict =
+  | Equivalent
+  | Not_equivalent of string (* name of a differing output *)
+  | Inconclusive (* budget exhausted *)
+
+let pp_verdict ppf = function
+  | Equivalent -> Fmt.string ppf "equivalent"
+  | Not_equivalent o -> Fmt.pf ppf "NOT equivalent (output %s)" o
+  | Inconclusive -> Fmt.string ppf "inconclusive"
+
+(* Check that two circuits have the same PO names; returns pairs. *)
+let match_outputs (g1 : Aiger.Aig.t) (g2 : Aiger.Aig.t) =
+  let pos1 = Aiger.Aig.pos g1 and pos2 = Aiger.Aig.pos g2 in
+  let tbl2 = Hashtbl.create 16 in
+  List.iter (fun (n, l) -> Hashtbl.replace tbl2 n l) pos2;
+  let missing =
+    List.find_opt (fun (n, _) -> not (Hashtbl.mem tbl2 n)) pos1
+  in
+  match missing with
+  | Some (n, _) -> Error n
+  | None ->
+    if List.length pos1 <> List.length pos2 then
+      let tbl1 = Hashtbl.create 16 in
+      List.iter (fun (n, l) -> Hashtbl.replace tbl1 n l) pos1;
+      (match List.find_opt (fun (n, _) -> not (Hashtbl.mem tbl1 n)) pos2 with
+      | Some (n, _) -> Error n
+      | None -> Ok (List.map (fun (n, l) -> n, l, Hashtbl.find tbl2 n) pos1))
+    else Ok (List.map (fun (n, l) -> n, l, Hashtbl.find tbl2 n) pos1)
+
+(* Monolithic miter encoding: sound and complete but does not scale to
+   large structurally-similar circuits; {!check} uses the FRAIG sweep
+   instead and this remains for small instances and for testing. *)
+let check_aigs_monolithic ?budget (g1 : Aiger.Aig.t) (g2 : Aiger.Aig.t) :
+    verdict =
+  match match_outputs g1 g2 with
+  | Error name -> Not_equivalent name
+  | Ok pairs ->
+    let solver = Cdcl.Solver.create () in
+    let roots1 = List.map (fun (_, l, _) -> l) pairs in
+    let roots2 = List.map (fun (_, _, l) -> l) pairs in
+    let f1 = Aiger.Aig.to_cnf g1 solver roots1 in
+    let f2 = Aiger.Aig.to_cnf g2 solver roots2 in
+    (* tie matching primary inputs together *)
+    List.iter
+      (fun (name, _) ->
+        match Aiger.Aig.pi_lit g2 name with
+        | None -> ()
+        | Some l2 -> (
+          match Aiger.Aig.pi_lit g1 name with
+          | None -> ()
+          | Some l1 ->
+            let s1 = f1 l1 and s2 = f2 l2 in
+            Cdcl.Solver.add_clause solver [ Cdcl.Lit.negate s1; s2 ];
+            Cdcl.Solver.add_clause solver [ s1; Cdcl.Lit.negate s2 ]))
+      (Aiger.Aig.pis g1);
+    (* miter: OR over (o1 xor o2) must be satisfiable for inequivalence *)
+    let diffs =
+      List.map
+        (fun (_, l1, l2) ->
+          let s1 = f1 l1 and s2 = f2 l2 in
+          let d = Cdcl.Lit.of_var (Cdcl.Solver.new_var solver) in
+          (* d <-> s1 xor s2 *)
+          Cdcl.Solver.add_clause solver
+            [ Cdcl.Lit.negate d; s1; s2 ];
+          Cdcl.Solver.add_clause solver
+            [ Cdcl.Lit.negate d; Cdcl.Lit.negate s1; Cdcl.Lit.negate s2 ];
+          Cdcl.Solver.add_clause solver [ d; Cdcl.Lit.negate s1; s2 ];
+          Cdcl.Solver.add_clause solver [ d; s1; Cdcl.Lit.negate s2 ];
+          d)
+        pairs
+    in
+    Cdcl.Solver.add_clause solver diffs;
+    (match Cdcl.Solver.solve ?budget solver with
+    | Cdcl.Solver.Unsat -> Equivalent
+    | Cdcl.Solver.Unknown -> Inconclusive
+    | Cdcl.Solver.Sat ->
+      (* identify one differing output for the report *)
+      let bad =
+        List.find_opt
+          (fun ((_, _, _), d) ->
+            Cdcl.Solver.model_value solver (Cdcl.Lit.var d)
+            <> Cdcl.Lit.is_negated d)
+          (List.combine pairs diffs)
+      in
+      let name =
+        match bad with Some ((n, _, _), _) -> n | None -> "?"
+      in
+      Not_equivalent name)
+
+(* The default checker: FRAIG sweep. *)
+let check_aigs ?budget (g1 : Aiger.Aig.t) (g2 : Aiger.Aig.t) : verdict =
+  match Aiger.Fraig.check_aigs ?budget g1 g2 with
+  | Aiger.Fraig.Equivalent -> Equivalent
+  | Aiger.Fraig.Not_equivalent o -> Not_equivalent o
+  | Aiger.Fraig.Inconclusive -> Inconclusive
+
+let check ?budget (c1 : Circuit.t) (c2 : Circuit.t) : verdict =
+  let m1 = Aiger.Aigmap.map c1 and m2 = Aiger.Aigmap.map c2 in
+  check_aigs ?budget m1.Aiger.Aigmap.aig m2.Aiger.Aigmap.aig
+
+let is_equivalent ?budget c1 c2 =
+  match check ?budget c1 c2 with
+  | Equivalent -> true
+  | Not_equivalent _ | Inconclusive -> false

@@ -1,0 +1,26 @@
+(** Combinational equivalence checking via AIG miter + SAT.
+
+    Primary inputs/outputs are matched by name; dff boundaries become
+    pseudo PIs/POs, so sequential designs are compared as their transition
+    plus output functions — exact for passes that never touch dffs. *)
+
+open Netlist
+
+type verdict =
+  | Equivalent
+  | Not_equivalent of string  (** a differing output name *)
+  | Inconclusive  (** solver budget exhausted *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val check_aigs : ?budget:int -> Aiger.Aig.t -> Aiger.Aig.t -> verdict
+(** FRAIG-based (SAT sweeping); scales to large structurally-similar
+    circuits.  [budget] is the per-candidate conflict cap. *)
+
+val check_aigs_monolithic : ?budget:int -> Aiger.Aig.t -> Aiger.Aig.t -> verdict
+(** Single-miter encoding; only for small instances. *)
+
+val check : ?budget:int -> Circuit.t -> Circuit.t -> verdict
+
+val is_equivalent : ?budget:int -> Circuit.t -> Circuit.t -> bool
+(** [true] only on a proven [Equivalent]. *)

@@ -1,0 +1,413 @@
+(* Elaboration: Verilog subset AST -> netlist.
+
+   [case] statements lower to eq-controlled muxtrees in one of three styles:
+   - [`Chain]    a priority chain of 2:1 muxes (paper Fig. 5)
+   - [`Balanced] a full binary tree with or-combined selects (paper Fig. 6)
+   - [`Pmux]     a single parallel-mux cell
+
+   Every declared name is backed by a real wire; assignments drive the wire
+   through a transparent or-with-zero buffer (folds away in the AIG and is
+   removed by the opt_expr pass), which keeps forward references simple. *)
+
+open Netlist
+
+exception Elab_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Elab_error m)) fmt
+
+type case_style = [ `Chain | `Balanced | `Pmux ]
+
+type ctx = {
+  circuit : Circuit.t;
+  names : (string, Circuit.wire) Hashtbl.t;
+  style : case_style;
+  mutable ff_mode : bool;
+      (* inside always @(posedge): expression reads see the pre-state
+         registers, not earlier non-blocking assignments *)
+}
+
+let lookup_wire ctx name =
+  match Hashtbl.find_opt ctx.names name with
+  | Some w -> w
+  | None -> fail "undeclared identifier %s" name
+
+(* --- constants --- *)
+
+let sig_of_constant (c : Ast.constant) : Bits.sigspec =
+  Array.of_list
+    (List.map
+       (function Ast.B0 -> Bits.C0 | Ast.B1 -> Bits.C1 | Ast.Bz -> Bits.Cx)
+       c.Ast.cbits)
+
+(* --- expression elaboration --- *)
+
+module Env = Map.Make (String)
+
+type env = Bits.sigspec Env.t
+
+let extend_to w s = Bits.extend s ~width:w
+
+(* the value a name holds at this point of the surrounding block: in
+   blocking (combinational) context, earlier assignments are visible; in
+   non-blocking (posedge) context, reads see the pre-state registers *)
+let env_value ctx (env : env) name : Bits.sigspec =
+  match Env.find_opt name env with
+  | Some s -> s
+  | None -> Circuit.sig_of_wire (lookup_wire ctx name)
+
+let read_value ctx (env : env) name : Bits.sigspec =
+  if ctx.ff_mode then Circuit.sig_of_wire (lookup_wire ctx name)
+  else env_value ctx env name
+
+let bool_of ctx (s : Bits.sigspec) : Bits.bit =
+  if Bits.width s = 1 then s.(0)
+  else (Circuit.mk_unary ctx.circuit Cell.Reduce_bool s).(0)
+
+let rec elab_expr ctx (env : env) (e : Ast.expr) : Bits.sigspec =
+  match e with
+  | Ast.E_ident name -> read_value ctx env name
+  | Ast.E_const c -> sig_of_constant c
+  | Ast.E_select (name, i) ->
+    let v = read_value ctx env name in
+    if i < 0 || i >= Bits.width v then
+      fail "index %d out of range for %s" i name;
+    [| v.(i) |]
+  | Ast.E_range (name, msb, lsb) ->
+    let v = read_value ctx env name in
+    if lsb < 0 || msb >= Bits.width v || msb < lsb then
+      fail "range [%d:%d] out of range for %s" msb lsb name;
+    Bits.slice v ~off:lsb ~len:(msb - lsb + 1)
+  | Ast.E_concat parts ->
+    (* Verilog writes MSB part first; sigspecs are LSB first *)
+    Bits.concat (List.rev_map (elab_expr ctx env) parts)
+  | Ast.E_unary (op, a) -> (
+    let va = elab_expr ctx env a in
+    match op with
+    | Ast.U_not -> Circuit.mk_unary ctx.circuit Cell.Not va
+    | Ast.U_lnot -> Circuit.mk_unary ctx.circuit Cell.Logic_not va
+    | Ast.U_rand -> Circuit.mk_unary ctx.circuit Cell.Reduce_and va
+    | Ast.U_ror -> Circuit.mk_unary ctx.circuit Cell.Reduce_or va
+    | Ast.U_rxor -> Circuit.mk_unary ctx.circuit Cell.Reduce_xor va)
+  | Ast.E_binary (op, a, b) -> (
+    let va = elab_expr ctx env a and vb = elab_expr ctx env b in
+    let w = max (Bits.width va) (Bits.width vb) in
+    let va' = extend_to w va and vb' = extend_to w vb in
+    let bin o = Circuit.mk_binary ctx.circuit o va' vb' in
+    match op with
+    | Ast.B_and -> bin Cell.And
+    | Ast.B_or -> bin Cell.Or
+    | Ast.B_xor -> bin Cell.Xor
+    | Ast.B_xnor -> bin Cell.Xnor
+    | Ast.B_eq -> bin Cell.Eq
+    | Ast.B_ne -> bin Cell.Ne
+    | Ast.B_land -> Circuit.mk_binary ctx.circuit Cell.Logic_and va vb
+    | Ast.B_lor -> Circuit.mk_binary ctx.circuit Cell.Logic_or va vb
+    | Ast.B_add -> bin Cell.Add
+    | Ast.B_sub -> bin Cell.Sub)
+  | Ast.E_ternary (c, t, e) ->
+    let s = bool_of ctx (elab_expr ctx env c) in
+    let vt = elab_expr ctx env t and ve = elab_expr ctx env e in
+    let w = max (Bits.width vt) (Bits.width ve) in
+    Circuit.mk_mux ctx.circuit ~a:(extend_to w ve) ~b:(extend_to w vt) ~s
+
+(* Build the select bit for one case pattern: an $eq over the non-wildcard
+   bits (a $logic_not when the compared constant is all zeros, which is the
+   special eq the paper mentions). *)
+let pattern_select ctx ~(subject : Bits.sigspec) (pat : Ast.constant)
+    ~match_all_wildcard : Bits.bit =
+  let w = Bits.width subject in
+  let bits = Array.of_list pat.Ast.cbits in
+  let pairs = ref [] in
+  Array.iteri
+    (fun i pb ->
+      if i < w then
+        match pb with
+        | Ast.B0 -> pairs := (subject.(i), Bits.C0) :: !pairs
+        | Ast.B1 -> pairs := (subject.(i), Bits.C1) :: !pairs
+        | Ast.Bz -> ())
+    bits;
+  (* pattern bits beyond the subject width must be zero to ever match *)
+  if pat.Ast.cwidth > w
+     && List.exists (( = ) Ast.B1)
+          (List.filteri (fun i _ -> i >= w) pat.Ast.cbits)
+  then Bits.C0
+  else
+    match !pairs with
+    | [] -> match_all_wildcard
+    | pairs ->
+      let a = Array.of_list (List.map fst pairs) in
+      let b = Array.of_list (List.map snd pairs) in
+      if Array.for_all (fun bit -> bit = Bits.C0) b then
+        (Circuit.mk_unary ctx.circuit Cell.Logic_not a).(0)
+      else (Circuit.mk_binary ctx.circuit Cell.Eq a b).(0)
+
+(* --- statement elaboration (symbolic execution) --- *)
+
+(* Merge a list of (select, env) branches over a base env: for every name
+   assigned in any branch, build the mux structure per the case style.
+   [branches] are in priority order (first wins). *)
+let merge_chain ctx base branches =
+  let assigned =
+    List.fold_left
+      (fun acc (_, e) -> Env.fold (fun k _ acc -> k :: acc) e acc)
+      [] branches
+    |> List.sort_uniq compare
+  in
+  List.fold_left
+    (fun acc name ->
+      let base_v = env_value ctx base name in
+      let w = Bits.width base_v in
+      let folded =
+        List.fold_right
+          (fun (sel, e) acc_v ->
+            match Env.find_opt name e with
+            | None -> acc_v
+            | Some v ->
+              Circuit.mk_mux ctx.circuit ~a:acc_v ~b:(extend_to w v) ~s:sel)
+          branches base_v
+      in
+      Env.add name folded acc)
+    base assigned
+
+let merge_balanced ctx base branches =
+  let assigned =
+    List.fold_left
+      (fun acc (_, e) -> Env.fold (fun k _ acc -> k :: acc) e acc)
+      [] branches
+    |> List.sort_uniq compare
+  in
+  let or_sels sels =
+    match sels with
+    | [] -> Bits.C0
+    | [ s ] -> s
+    | s :: rest ->
+      List.fold_left (fun acc x -> Circuit.mk_or ctx.circuit acc x) s rest
+  in
+  List.fold_left
+    (fun acc name ->
+      let base_v = env_value ctx base name in
+      let w = Bits.width base_v in
+      let items =
+        List.filter_map
+          (fun (sel, e) ->
+            Env.find_opt name e |> Option.map (fun v -> sel, extend_to w v))
+          branches
+      in
+      (* [tree items] assumes some select holds; [build items] falls back to
+         the base value *)
+      let rec tree = function
+        | [] -> base_v
+        | [ (_, v) ] -> v
+        | items ->
+          let n = List.length items in
+          let left = List.filteri (fun i _ -> i < n / 2) items in
+          let right = List.filteri (fun i _ -> i >= n / 2) items in
+          let sel_left = or_sels (List.map fst left) in
+          Circuit.mk_mux ctx.circuit ~a:(tree right) ~b:(tree left)
+            ~s:sel_left
+      and build = function
+        | [] -> base_v
+        | [ (sel, v) ] -> Circuit.mk_mux ctx.circuit ~a:base_v ~b:v ~s:sel
+        | items ->
+          let n = List.length items in
+          let left = List.filteri (fun i _ -> i < n / 2) items in
+          let right = List.filteri (fun i _ -> i >= n / 2) items in
+          let sel_left = or_sels (List.map fst left) in
+          Circuit.mk_mux ctx.circuit ~a:(build right) ~b:(tree left)
+            ~s:sel_left
+      in
+      Env.add name (build items) acc)
+    base assigned
+
+let merge_pmux ctx base branches =
+  let assigned =
+    List.fold_left
+      (fun acc (_, e) -> Env.fold (fun k _ acc -> k :: acc) e acc)
+      [] branches
+    |> List.sort_uniq compare
+  in
+  List.fold_left
+    (fun acc name ->
+      let base_v = env_value ctx base name in
+      let w = Bits.width base_v in
+      let items =
+        List.filter_map
+          (fun (sel, e) ->
+            Env.find_opt name e |> Option.map (fun v -> sel, extend_to w v))
+          branches
+      in
+      match items with
+      | [] -> acc
+      | [ (sel, v) ] ->
+        Env.add name (Circuit.mk_mux ctx.circuit ~a:base_v ~b:v ~s:sel) acc
+      | items ->
+        let s = Array.of_list (List.map fst items) in
+        let b = Bits.concat (List.map snd items) in
+        Env.add name (Circuit.mk_pmux ctx.circuit ~a:base_v ~b ~s) acc)
+    base assigned
+
+let merge ctx base branches =
+  match ctx.style with
+  | `Chain -> merge_chain ctx base branches
+  | `Balanced -> merge_balanced ctx base branches
+  | `Pmux -> merge_pmux ctx base branches
+
+let rec elab_stmt ctx (env : env) (s : Ast.stmt) : env =
+  match s with
+  | Ast.S_assign (name, e) ->
+    let w = lookup_wire ctx name in
+    let v = extend_to w.Circuit.width (elab_expr ctx env e) in
+    Env.add name v env
+  | Ast.S_if (cond, then_, else_) ->
+    let sel = bool_of ctx (elab_expr ctx env cond) in
+    let env_t = elab_stmts ctx env then_ in
+    let env_e = elab_stmts ctx env else_ in
+    (* assignments already in env are the fallback; express both branches as
+       deltas over env *)
+    let delta base_env new_env =
+      Env.filter
+        (fun k v ->
+          match Env.find_opt k base_env with
+          | Some old -> not (Bits.equal old v)
+          | None -> true)
+        new_env
+    in
+    let dt = delta env env_t and de = delta env env_e in
+    let names =
+      List.sort_uniq compare
+        (List.map fst (Env.bindings dt) @ List.map fst (Env.bindings de))
+    in
+    List.fold_left
+      (fun acc name ->
+        let vt = env_value ctx env_t name in
+        let ve = env_value ctx env_e name in
+        if Bits.equal vt ve then Env.add name vt acc
+        else begin
+          let w = max (Bits.width vt) (Bits.width ve) in
+          Env.add name
+            (Circuit.mk_mux ctx.circuit ~a:(extend_to w ve)
+               ~b:(extend_to w vt) ~s:sel)
+            acc
+        end)
+      env names
+  | Ast.S_case { Ast.is_casez; subject; items; default } ->
+    let subj = elab_expr ctx env subject in
+    let match_all_wildcard = Bits.C1 in
+    let branches =
+      List.map
+        (fun (pats, body) ->
+          if (not is_casez) && List.exists Ast.const_has_wildcard pats then
+            fail "wildcard pattern in plain case (use casez)";
+          let sels =
+            List.map
+              (fun p -> pattern_select ctx ~subject:subj p ~match_all_wildcard)
+              pats
+          in
+          let sel =
+            match sels with
+            | [ s ] -> s
+            | s :: rest ->
+              List.fold_left (fun acc x -> Circuit.mk_or ctx.circuit acc x) s rest
+            | [] -> Bits.C0
+          in
+          let env' = elab_stmts ctx env body in
+          sel, env')
+        items
+    in
+    let base =
+      match default with
+      | Some body -> elab_stmts ctx env body
+      | None -> env
+    in
+    (* branch envs are deltas over [env]; keep only their assignments *)
+    let branches =
+      List.map
+        (fun (sel, e) ->
+          let d =
+            Env.filter
+              (fun k v ->
+                match Env.find_opt k env with
+                | Some old -> not (Bits.equal old v)
+                | None -> true)
+              e
+          in
+          sel, d)
+        branches
+    in
+    merge ctx base branches
+
+and elab_stmts ctx env stmts = List.fold_left (elab_stmt ctx) env stmts
+
+(* --- module elaboration --- *)
+
+let drive_wire ctx (w : Circuit.wire) (v : Bits.sigspec) =
+  let v = extend_to w.Circuit.width v in
+  ignore
+    (Circuit.add_cell ctx.circuit
+       (Cell.Binary
+          {
+            op = Cell.Or;
+            a = v;
+            b = Bits.all_zero ~width:w.Circuit.width;
+            y = Circuit.sig_of_wire w;
+          }))
+
+let elaborate ?(style : case_style = `Chain) (m : Ast.module_) : Circuit.t =
+  let circuit = Circuit.create m.Ast.mname in
+  let ctx =
+    { circuit; names = Hashtbl.create 16; style; ff_mode = false }
+  in
+  (* declarations first *)
+  List.iter
+    (fun item ->
+      match item with
+      | Ast.I_decl d ->
+        if Hashtbl.mem ctx.names d.Ast.dname then
+          fail "duplicate declaration of %s" d.Ast.dname
+        else begin
+          let width = Ast.decl_width d in
+          let w =
+            match d.Ast.kind with
+            | Ast.D_input -> Circuit.add_input circuit d.Ast.dname ~width
+            | Ast.D_output | Ast.D_output_reg ->
+              Circuit.add_output circuit d.Ast.dname ~width
+            | Ast.D_wire | Ast.D_reg ->
+              Circuit.add_wire circuit ~name:d.Ast.dname ~width ()
+          in
+          Hashtbl.replace ctx.names d.Ast.dname w
+        end
+      | Ast.I_assign _ | Ast.I_always _ | Ast.I_always_ff _ -> ())
+    m.Ast.items;
+  (* then behaviour *)
+  List.iter
+    (fun item ->
+      match item with
+      | Ast.I_decl _ -> ()
+      | Ast.I_assign (name, e) ->
+        let w = lookup_wire ctx name in
+        drive_wire ctx w (elab_expr ctx Env.empty e)
+      | Ast.I_always stmts ->
+        let env = elab_stmts ctx Env.empty stmts in
+        Env.iter
+          (fun name v -> drive_wire ctx (lookup_wire ctx name) v)
+          env
+      | Ast.I_always_ff (_clock, stmts) ->
+        (* single implicit clock domain; reads see pre-state registers *)
+        ctx.ff_mode <- true;
+        let env = elab_stmts ctx Env.empty stmts in
+        ctx.ff_mode <- false;
+        Env.iter
+          (fun name v ->
+            let w = lookup_wire ctx name in
+            ignore
+              (Circuit.add_cell ctx.circuit
+                 (Cell.Dff
+                    {
+                      d = extend_to w.Circuit.width v;
+                      q = Circuit.sig_of_wire w;
+                    })))
+          env)
+    m.Ast.items;
+  circuit
+
+let elaborate_string ?style src = elaborate ?style (Parser.parse_string src)

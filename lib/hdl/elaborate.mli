@@ -1,0 +1,22 @@
+(** Elaboration: AST -> netlist.
+
+    [case] statements lower to eq-controlled muxtrees in a selectable
+    style: [`Chain] (a priority chain, paper Fig. 5), [`Balanced] (a full
+    binary tree with or-combined selects, Fig. 6), or [`Pmux] (one parallel
+    mux cell).  Every declared name is backed by a wire; assignments drive
+    wires through transparent buffers that cost nothing after AIG mapping
+    and are swept by opt_expr.
+
+    Blocking assignments in [always @*] follow read-after-write order;
+    [always @(posedge clk)] blocks infer dff cells, with non-blocking
+    reads seeing the pre-state registers (one implicit clock domain). *)
+
+exception Elab_error of string
+
+type case_style = [ `Chain | `Balanced | `Pmux ]
+
+val elaborate : ?style:case_style -> Ast.module_ -> Netlist.Circuit.t
+(** @raise Elab_error on undeclared names, width errors, etc. *)
+
+val elaborate_string : ?style:case_style -> string -> Netlist.Circuit.t
+(** Parse then elaborate. *)

@@ -1,0 +1,41 @@
+(** Lexer for the Verilog subset. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of int  (** plain unsized decimal *)
+  | SIZED of Ast.constant  (** e.g. [4'b10z1], [8'hff], [3'd5] *)
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COLON
+  | SEMI
+  | COMMA
+  | AT
+  | STAR
+  | QUESTION
+  | EQUAL
+  | EQEQ
+  | NONBLOCK
+  | NEQ
+  | AMP
+  | AMPAMP
+  | PIPE
+  | PIPEPIPE
+  | CARET
+  | XNOR_OP
+  | TILDE
+  | BANG
+  | PLUS
+  | MINUS
+  | EOF
+
+exception Lex_error of string * int  (** message, byte position *)
+
+val tokenize : string -> (token * int) list
+(** Tokens paired with their byte positions; line and block comments are
+    skipped.  The list ends with [EOF].
+    @raise Lex_error on invalid input. *)

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the Verilog subset: module declarations,
+    [assign], [always @*] with blocking assignments, [if]/[else],
+    [case]/[casez], and the usual expression grammar with standard
+    precedences. *)
+
+exception Parse_error of string * int  (** message, byte position *)
+
+val parse_string : string -> Ast.module_
+(** @raise Parse_error on syntax errors
+    @raise Lexer.Lex_error on lexical errors *)

@@ -1,0 +1,260 @@
+(* Verilog writer: netlist -> the same Verilog subset the frontend reads.
+
+   Every cell becomes a continuous assignment over named wires (mux cells
+   become ternaries, pmux cells priority ternary chains); dffs become
+   always @(posedge clk) blocks with non-blocking assignments, clocked by
+   an implicit generated clock port.  Round-tripping through the parser
+   and elaborator yields an equivalent circuit (tested). *)
+
+open Netlist
+
+(* every wire gets a legal, unique Verilog name *)
+let sanitize name =
+  let buf = Buffer.create (String.length name) in
+  String.iteri
+    (fun i ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Buffer.add_char buf ch
+      | '0' .. '9' ->
+        if i = 0 then Buffer.add_char buf '_';
+        Buffer.add_char buf ch
+      | _ -> Buffer.add_char buf '_')
+    name;
+  if Buffer.length buf = 0 then "_" else Buffer.contents buf
+
+type namer = {
+  of_wire : (int, string) Hashtbl.t;
+  used : (string, unit) Hashtbl.t;
+  claim : string -> string;
+}
+
+let build_namer (c : Circuit.t) : namer =
+  let used = Hashtbl.create 64 in
+  let claim base =
+    let rec go candidate i =
+      if Hashtbl.mem used candidate then
+        go (Printf.sprintf "%s_%d" base i) (i + 1)
+      else begin
+        Hashtbl.replace used candidate ();
+        candidate
+      end
+    in
+    go base 0
+  in
+  let t = { of_wire = Hashtbl.create 64; used; claim } in
+  (* ports keep their names when possible *)
+  List.iter
+    (fun w ->
+      Hashtbl.replace t.of_wire w.Circuit.wire_id
+        (claim (sanitize w.Circuit.wire_name)))
+    (Circuit.inputs c @ Circuit.outputs c);
+  Hashtbl.iter
+    (fun id w ->
+      if not (Hashtbl.mem t.of_wire id) then
+        Hashtbl.replace t.of_wire id (claim (sanitize w.Circuit.wire_name)))
+    c.Circuit.wires;
+  t
+
+let wire_name t id = Hashtbl.find t.of_wire id
+
+(* Render a sigspec as a Verilog expression.  Contiguous runs of the same
+   wire collapse to selects/ranges; mixed specs become concatenations
+   (written MSB first). *)
+let sig_expr (c : Circuit.t) (t : namer) (s : Bits.sigspec) : string =
+  let n = Bits.width s in
+  if n = 0 then "0"
+  else begin
+    (* split into maximal parts, LSB first *)
+    let parts = ref [] in
+    let flush_const bits =
+      match bits with
+      | [] -> ()
+      | _ ->
+        let w = List.length bits in
+        let digits =
+          List.rev_map (function true -> "1" | false -> "0") bits
+        in
+        parts := Printf.sprintf "%d'b%s" w (String.concat "" digits) :: !parts
+    in
+    let i = ref 0 in
+    while !i < n do
+      match s.(!i) with
+      | Bits.C0 | Bits.C1 | Bits.Cx ->
+        let bits = ref [] in
+        while
+          !i < n
+          && match s.(!i) with Bits.Of_wire _ -> false | _ -> true
+        do
+          (bits :=
+             (match s.(!i) with Bits.C1 -> true | _ -> false) :: !bits);
+          incr i
+        done;
+        flush_const (List.rev !bits)
+      | Bits.Of_wire (wid, off) ->
+        let start = off in
+        let len = ref 1 in
+        incr i;
+        let continues () =
+          !i < n
+          &&
+          match s.(!i) with
+          | Bits.Of_wire (w2, o2) -> w2 = wid && o2 = start + !len
+          | _ -> false
+        in
+        while continues () do
+          incr len;
+          incr i
+        done;
+        let name = wire_name t wid in
+        let w = Circuit.wire c wid in
+        let part =
+          if !len = w.Circuit.width && start = 0 then name
+          else if !len = 1 then Printf.sprintf "%s[%d]" name start
+          else Printf.sprintf "%s[%d:%d]" name (start + !len - 1) start
+        in
+        parts := part :: !parts
+    done;
+    match !parts with
+    | [ one ] -> one
+    | many -> Printf.sprintf "{%s}" (String.concat ", " many)
+  end
+
+let bit_expr c t (b : Bits.bit) = sig_expr c t [| b |]
+
+let cell_expr (c : Circuit.t) (t : namer) (cell : Cell.t) : string =
+  let s = sig_expr c t in
+  match cell with
+  | Cell.Unary { op = Cell.Not; a; _ } -> Printf.sprintf "~%s" (s a)
+  | Cell.Unary { op = Cell.Logic_not; a; _ } -> Printf.sprintf "!%s" (s a)
+  | Cell.Unary { op = Cell.Reduce_and; a; _ } -> Printf.sprintf "&%s" (s a)
+  | Cell.Unary { op = Cell.Reduce_or | Cell.Reduce_bool; a; _ } ->
+    Printf.sprintf "|%s" (s a)
+  | Cell.Unary { op = Cell.Reduce_xor; a; _ } -> Printf.sprintf "^%s" (s a)
+  | Cell.Binary { op; a; b; _ } ->
+    let sym =
+      match op with
+      | Cell.And -> "&"
+      | Cell.Or -> "|"
+      | Cell.Xor -> "^"
+      | Cell.Xnor -> "~^"
+      | Cell.Eq -> "=="
+      | Cell.Ne -> "!="
+      | Cell.Logic_and -> "&&"
+      | Cell.Logic_or -> "||"
+      | Cell.Add -> "+"
+      | Cell.Sub -> "-"
+    in
+    Printf.sprintf "%s %s %s" (s a) sym (s b)
+  | Cell.Mux { a; b; s = sel; _ } ->
+    Printf.sprintf "%s ? %s : %s" (bit_expr c t sel) (s b) (s a)
+  | Cell.Pmux { a; b; s = sel; _ } ->
+    (* priority chain, lowest index first *)
+    let w = Bits.width a in
+    let rec chain i =
+      if i >= Bits.width sel then s a
+      else
+        Printf.sprintf "%s ? %s : (%s)" (bit_expr c t sel.(i))
+          (s (Bits.slice b ~off:(i * w) ~len:w))
+          (chain (i + 1))
+    in
+    chain 0
+  | Cell.Dff _ -> invalid_arg "cell_expr: dff handled separately"
+
+(* Cells whose output is a full wire can assign it directly; others drive
+   fresh intermediates stitched together by per-wire concat assigns.  To
+   keep the writer simple we require (and the elaborator guarantees) that
+   every cell output is a whole wire; outputs spanning several wires are
+   split by an auxiliary pre-pass. *)
+
+exception Unsupported of string
+
+let output_wire (y : Bits.sigspec) : int option =
+  match y.(0) with
+  | Bits.Of_wire (wid, 0) ->
+    let ok = ref true in
+    Array.iteri
+      (fun i b ->
+        match b with
+        | Bits.Of_wire (w2, o2) when w2 = wid && o2 = i -> ()
+        | _ -> ok := false)
+      y;
+    if !ok then Some wid else None
+  | _ -> None
+
+let write (c : Circuit.t) : string =
+  let t = build_namer c in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  let range w = if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1) in
+  (* header *)
+  let has_dff =
+    Circuit.fold_cells
+      (fun _ cell acc ->
+        (match cell with Cell.Dff _ -> true | _ -> false) || acc)
+      c false
+  in
+  let inputs = Circuit.inputs c and outputs = Circuit.outputs c in
+  let clk = if has_dff then t.claim "clk" else "clk" in
+  let port_decls =
+    (if has_dff then [ Printf.sprintf "input %s" clk ] else [])
+    @ List.map
+        (fun w ->
+          Printf.sprintf "input %s%s" (range w.Circuit.width)
+            (wire_name t w.Circuit.wire_id))
+        inputs
+    @ List.map
+        (fun w ->
+          Printf.sprintf "output %s%s" (range w.Circuit.width)
+            (wire_name t w.Circuit.wire_id))
+        outputs
+  in
+  add "module %s(%s);\n" (sanitize c.Circuit.name)
+    (String.concat ", " port_decls);
+  (* declarations for internal wires *)
+  let port_ids = Hashtbl.create 16 in
+  List.iter
+    (fun w -> Hashtbl.replace port_ids w.Circuit.wire_id ())
+    (inputs @ outputs);
+  let dff_q_ids = Hashtbl.create 16 in
+  Circuit.iter_cells
+    (fun _ cell ->
+      match cell with
+      | Cell.Dff { q; _ } -> (
+        match output_wire q with
+        | Some wid -> Hashtbl.replace dff_q_ids wid ()
+        | None -> raise (Unsupported "dff output is not a whole wire"))
+      | _ -> ())
+    c;
+  Hashtbl.iter
+    (fun id w ->
+      if not (Hashtbl.mem port_ids id) then
+        if Hashtbl.mem dff_q_ids id then
+          add "  reg %s%s;\n" (range w.Circuit.width) (wire_name t id)
+        else add "  wire %s%s;\n" (range w.Circuit.width) (wire_name t id))
+    c.Circuit.wires;
+  (* a register driving an output port needs an internal reg + assign *)
+  (* (the elaborator never produces this; keep it simple) *)
+  (* body: combinational cells as assigns, dffs as clocked blocks *)
+  List.iter
+    (fun id ->
+      let cell = Circuit.cell c id in
+      match cell with
+      | Cell.Dff { d; q } ->
+        let qw =
+          match output_wire q with
+          | Some wid -> wire_name t wid
+          | None -> raise (Unsupported "dff output is not a whole wire")
+        in
+        add "  always @(posedge %s) %s <= %s;\n" clk qw (sig_expr c t d)
+      | _ -> (
+        let y = Cell.output cell in
+        match output_wire y with
+        | Some wid ->
+          add "  assign %s = %s;\n" (wire_name t wid) (cell_expr c t cell)
+        | None ->
+          raise
+            (Unsupported
+               (Printf.sprintf "cell %d output is not a whole wire" id))))
+    (Circuit.cell_ids c);
+  add "endmodule\n";
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Verilog writer: netlist -> the same subset the frontend parses.
+
+    Combinational cells become continuous assignments (mux = ternary,
+    pmux = priority ternary chain); dff cells become
+    [always @(posedge clk)] blocks with an implicit [clk] port.
+    Round-tripping through {!Parser} and {!Elaborate} yields an
+    equivalent circuit. *)
+
+exception Unsupported of string
+(** Raised when a cell output does not cover a whole wire (can happen
+    after port-preserving rewiring in optimization passes). *)
+
+val write : Netlist.Circuit.t -> string

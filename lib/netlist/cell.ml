@@ -1,0 +1,140 @@
+(* RTL cells.
+
+   Cell semantics follow the Yosys RTLIL conventions:
+   - [Mux]:  y = s ? b : a           (s is a single bit)
+   - [Pmux]: y = s[i] ? b[i*w +: w] : a, lowest set index wins
+   - logic / reduce / compare cells produce a single-bit result
+   - [Dff] is the only sequential cell; it is excluded from AIG area. *)
+
+type unary_op =
+  | Not
+  | Logic_not
+  | Reduce_and
+  | Reduce_or
+  | Reduce_xor
+  | Reduce_bool
+
+type binary_op =
+  | And
+  | Or
+  | Xor
+  | Xnor
+  | Eq
+  | Ne
+  | Logic_and
+  | Logic_or
+  | Add
+  | Sub
+
+type t =
+  | Unary of { op : unary_op; a : Bits.sigspec; y : Bits.sigspec }
+  | Binary of { op : binary_op; a : Bits.sigspec; b : Bits.sigspec; y : Bits.sigspec }
+  | Mux of { a : Bits.sigspec; b : Bits.sigspec; s : Bits.bit; y : Bits.sigspec }
+  | Pmux of { a : Bits.sigspec; b : Bits.sigspec; s : Bits.sigspec; y : Bits.sigspec }
+  | Dff of { d : Bits.sigspec; q : Bits.sigspec }
+
+let unary_op_name = function
+  | Not -> "$not"
+  | Logic_not -> "$logic_not"
+  | Reduce_and -> "$reduce_and"
+  | Reduce_or -> "$reduce_or"
+  | Reduce_xor -> "$reduce_xor"
+  | Reduce_bool -> "$reduce_bool"
+
+let binary_op_name = function
+  | And -> "$and"
+  | Or -> "$or"
+  | Xor -> "$xor"
+  | Xnor -> "$xnor"
+  | Eq -> "$eq"
+  | Ne -> "$ne"
+  | Logic_and -> "$logic_and"
+  | Logic_or -> "$logic_or"
+  | Add -> "$add"
+  | Sub -> "$sub"
+
+let name = function
+  | Unary { op; _ } -> unary_op_name op
+  | Binary { op; _ } -> binary_op_name op
+  | Mux _ -> "$mux"
+  | Pmux _ -> "$pmux"
+  | Dff _ -> "$dff"
+
+let is_combinational = function
+  | Dff _ -> false
+  | Unary _ | Binary _ | Mux _ | Pmux _ -> true
+
+(* The sigspec driven by this cell. *)
+let output = function
+  | Unary { y; _ } | Binary { y; _ } | Mux { y; _ } | Pmux { y; _ } -> y
+  | Dff { q; _ } -> q
+
+(* All input sigspecs, in port order. *)
+let inputs = function
+  | Unary { a; _ } -> [ a ]
+  | Binary { a; b; _ } -> [ a; b ]
+  | Mux { a; b; s; _ } -> [ a; b; [| s |] ]
+  | Pmux { a; b; s; _ } -> [ a; b; s ]
+  | Dff { d; _ } -> [ d ]
+
+let input_bits c = List.concat_map Array.to_list (inputs c)
+let output_bits c = Array.to_list (output c)
+
+(* Control bits: the select inputs that steer a mux/pmux, empty otherwise. *)
+let control_bits = function
+  | Mux { s; _ } -> [ s ]
+  | Pmux { s; _ } -> Array.to_list s
+  | Unary _ | Binary _ | Dff _ -> []
+
+exception Width_error of string
+
+let check_widths c =
+  let fail fmt = Fmt.kstr (fun m -> raise (Width_error m)) fmt in
+  let w = Bits.width in
+  match c with
+  | Unary { op = Not; a; y } ->
+    if w a <> w y then fail "$not: |a|=%d <> |y|=%d" (w a) (w y)
+  | Unary { op = Logic_not | Reduce_and | Reduce_or | Reduce_xor | Reduce_bool; a = _; y }
+    -> if w y <> 1 then fail "unary reduce: |y|=%d <> 1" (w y)
+  | Binary { op = And | Or | Xor | Xnor | Add | Sub; a; b; y } ->
+    if w a <> w b || w a <> w y then
+      fail "%s: widths %d/%d/%d differ" (name c) (w a) (w b) (w y)
+  | Binary { op = Eq | Ne; a; b; y } ->
+    if w a <> w b then fail "$eq/$ne: |a|=%d <> |b|=%d" (w a) (w b);
+    if w y <> 1 then fail "$eq/$ne: |y|=%d <> 1" (w y)
+  | Binary { op = Logic_and | Logic_or; a = _; b = _; y } ->
+    if w y <> 1 then fail "$logic_*: |y|=%d <> 1" (w y)
+  | Mux { a; b; s = _; y } ->
+    if w a <> w b || w a <> w y then
+      fail "$mux: widths %d/%d/%d differ" (w a) (w b) (w y)
+  | Pmux { a; b; s; y } ->
+    if w a <> w y then fail "$pmux: |a|=%d <> |y|=%d" (w a) (w y);
+    if w s = 0 then fail "$pmux: empty selector";
+    if w b <> w s * w a then
+      fail "$pmux: |b|=%d <> |s|*|a|=%d" (w b) (w s * w a)
+  | Dff { d; q } ->
+    if w d <> w q then fail "$dff: |d|=%d <> |q|=%d" (w d) (w q)
+
+(* Apply [f] to every input bit (outputs untouched).  Used by rewiring
+   passes to substitute signals. *)
+let map_input_bits f c =
+  let m = Array.map f in
+  match c with
+  | Unary u -> Unary { u with a = m u.a }
+  | Binary b -> Binary { b with a = m b.a; b = m b.b }
+  | Mux x -> Mux { x with a = m x.a; b = m x.b; s = f x.s }
+  | Pmux p -> Pmux { p with a = m p.a; b = m p.b; s = m p.s }
+  | Dff d -> Dff { d with d = m d.d }
+
+let pp ppf c =
+  let p fmt = Fmt.pf ppf fmt in
+  match c with
+  | Unary { op; a; y } ->
+    p "%s a=%a y=%a" (unary_op_name op) Bits.pp a Bits.pp y
+  | Binary { op; a; b; y } ->
+    p "%s a=%a b=%a y=%a" (binary_op_name op) Bits.pp a Bits.pp b Bits.pp y
+  | Mux { a; b; s; y } ->
+    p "$mux a=%a b=%a s=%a y=%a" Bits.pp a Bits.pp b Bits.pp_bit s Bits.pp y
+  | Pmux { a; b; s; y } ->
+    p "$pmux a=%a b=%a s=%a y=%a" Bits.pp a Bits.pp b Bits.pp s Bits.pp y
+  | Dff { d; q } -> p "$dff d=%a q=%a" Bits.pp d Bits.pp q

@@ -1,0 +1,63 @@
+(** RTL cells, following the Yosys RTLIL conventions.
+
+    - [Mux]: [y = s ? b : a] with a single-bit select;
+    - [Pmux]: [y = s.(i) ? b.(i*w .. i*w+w-1) : a], lowest set index wins;
+    - comparison / logic / reduction cells produce one bit;
+    - [Dff] is the only sequential cell and contributes no AIG area. *)
+
+type unary_op =
+  | Not  (** bitwise complement *)
+  | Logic_not  (** [!a]: 1 iff a is all-zero *)
+  | Reduce_and
+  | Reduce_or
+  | Reduce_xor
+  | Reduce_bool  (** 1 iff a is nonzero (same as [Reduce_or]) *)
+
+type binary_op =
+  | And
+  | Or
+  | Xor
+  | Xnor
+  | Eq
+  | Ne
+  | Logic_and
+  | Logic_or
+  | Add
+  | Sub
+
+type t =
+  | Unary of { op : unary_op; a : Bits.sigspec; y : Bits.sigspec }
+  | Binary of { op : binary_op; a : Bits.sigspec; b : Bits.sigspec; y : Bits.sigspec }
+  | Mux of { a : Bits.sigspec; b : Bits.sigspec; s : Bits.bit; y : Bits.sigspec }
+  | Pmux of { a : Bits.sigspec; b : Bits.sigspec; s : Bits.sigspec; y : Bits.sigspec }
+  | Dff of { d : Bits.sigspec; q : Bits.sigspec }
+
+val unary_op_name : unary_op -> string
+val binary_op_name : binary_op -> string
+
+val name : t -> string
+(** The RTLIL-style cell-type name, e.g. ["$mux"]. *)
+
+val is_combinational : t -> bool
+
+val output : t -> Bits.sigspec
+(** The sigspec driven by the cell ([y], or [q] for a dff). *)
+
+val inputs : t -> Bits.sigspec list
+(** All input sigspecs in port order. *)
+
+val input_bits : t -> Bits.bit list
+val output_bits : t -> Bits.bit list
+
+val control_bits : t -> Bits.bit list
+(** Select inputs of mux/pmux cells; empty for everything else. *)
+
+exception Width_error of string
+
+val check_widths : t -> unit
+(** @raise Width_error when port widths are inconsistent. *)
+
+val map_input_bits : (Bits.bit -> Bits.bit) -> t -> t
+(** Substitute every input bit (outputs untouched); used for rewiring. *)
+
+val pp : Format.formatter -> t -> unit

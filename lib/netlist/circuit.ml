@@ -1,0 +1,183 @@
+(* A circuit: a single flat module holding wires and cells.
+
+   Wires and cells carry integer ids.  Cells are stored in a mutable table so
+   optimization passes can rewrite them in place; structural indices
+   (drivers, fanout) are derived on demand by {!Index}. *)
+
+type wire = {
+  wire_id : int;
+  wire_name : string;
+  width : int;
+}
+
+type port_dir = Input | Output
+
+type t = {
+  name : string;
+  mutable next_wire_id : int;
+  mutable next_cell_id : int;
+  wires : (int, wire) Hashtbl.t;
+  cells : (int, Cell.t) Hashtbl.t;
+  mutable ports : (port_dir * wire) list; (* in declaration order, reversed *)
+}
+
+let create name =
+  {
+    name;
+    next_wire_id = 0;
+    next_cell_id = 0;
+    wires = Hashtbl.create 64;
+    cells = Hashtbl.create 64;
+    ports = [];
+  }
+
+(* --- wires --- *)
+
+let add_wire t ?name ~width () =
+  if width <= 0 then invalid_arg "Circuit.add_wire: width must be positive";
+  let id = t.next_wire_id in
+  t.next_wire_id <- id + 1;
+  let wire_name =
+    match name with Some n -> n | None -> Printf.sprintf "w%d" id
+  in
+  let w = { wire_id = id; wire_name; width } in
+  Hashtbl.replace t.wires id w;
+  w
+
+let wire t id =
+  match Hashtbl.find_opt t.wires id with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Circuit.wire: no wire %d" id)
+
+let wire_opt t id = Hashtbl.find_opt t.wires id
+
+let remove_wire t id = Hashtbl.remove t.wires id
+
+(* The full sigspec covering a wire, LSB first. *)
+let sig_of_wire (w : wire) : Bits.sigspec =
+  Array.init w.width (fun i -> Bits.Of_wire (w.wire_id, i))
+
+let bit_of_wire (w : wire) : Bits.bit =
+  if w.width <> 1 then
+    invalid_arg "Circuit.bit_of_wire: wire is not single-bit";
+  Bits.Of_wire (w.wire_id, 0)
+
+(* Fresh anonymous wire returned directly as a sigspec. *)
+let fresh_sig t ~width = sig_of_wire (add_wire t ~width ())
+let fresh_bit t = bit_of_wire (add_wire t ~width:1 ())
+
+(* --- ports --- *)
+
+let add_input t name ~width =
+  let w = add_wire t ~name ~width () in
+  t.ports <- (Input, w) :: t.ports;
+  w
+
+let add_output t name ~width =
+  let w = add_wire t ~name ~width () in
+  t.ports <- (Output, w) :: t.ports;
+  w
+
+(* Mark an existing wire as an output port. *)
+let set_output t w = t.ports <- (Output, w) :: t.ports
+
+let inputs t =
+  List.rev t.ports
+  |> List.filter_map (function Input, w -> Some w | Output, _ -> None)
+
+let outputs t =
+  List.rev t.ports
+  |> List.filter_map (function Output, w -> Some w | Input, _ -> None)
+
+let input_bits t = List.concat_map (fun w -> Array.to_list (sig_of_wire w)) (inputs t)
+let output_bits t = List.concat_map (fun w -> Array.to_list (sig_of_wire w)) (outputs t)
+
+(* --- cells --- *)
+
+let add_cell t (c : Cell.t) =
+  Cell.check_widths c;
+  let id = t.next_cell_id in
+  t.next_cell_id <- id + 1;
+  Hashtbl.replace t.cells id c;
+  id
+
+let cell t id =
+  match Hashtbl.find_opt t.cells id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Circuit.cell: no cell %d" id)
+
+let cell_opt t id = Hashtbl.find_opt t.cells id
+
+let replace_cell t id (c : Cell.t) =
+  Cell.check_widths c;
+  if not (Hashtbl.mem t.cells id) then
+    invalid_arg (Printf.sprintf "Circuit.replace_cell: no cell %d" id);
+  Hashtbl.replace t.cells id c
+
+let remove_cell t id = Hashtbl.remove t.cells id
+
+let iter_cells f t = Hashtbl.iter f t.cells
+let fold_cells f t acc = Hashtbl.fold f t.cells acc
+
+let cell_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.cells [] |> List.sort compare
+
+let cell_count t = Hashtbl.length t.cells
+let wire_count t = Hashtbl.length t.wires
+
+(* --- convenience constructors: build the cell, return its output --- *)
+
+let mk_unary t op a =
+  let ywidth =
+    match (op : Cell.unary_op) with
+    | Not -> Bits.width a
+    | Logic_not | Reduce_and | Reduce_or | Reduce_xor | Reduce_bool -> 1
+  in
+  let y = fresh_sig t ~width:ywidth in
+  ignore (add_cell t (Cell.Unary { op; a; y }));
+  y
+
+let mk_binary t op a b =
+  let ywidth =
+    match (op : Cell.binary_op) with
+    | And | Or | Xor | Xnor | Add | Sub -> Bits.width a
+    | Eq | Ne | Logic_and | Logic_or -> 1
+  in
+  let y = fresh_sig t ~width:ywidth in
+  ignore (add_cell t (Cell.Binary { op; a; b; y }));
+  y
+
+let mk_mux t ~a ~b ~s =
+  let y = fresh_sig t ~width:(Bits.width a) in
+  ignore (add_cell t (Cell.Mux { a; b; s; y }));
+  y
+
+let mk_pmux t ~a ~b ~s =
+  let y = fresh_sig t ~width:(Bits.width a) in
+  ignore (add_cell t (Cell.Pmux { a; b; s; y }));
+  y
+
+let mk_dff t ~d =
+  let q = fresh_sig t ~width:(Bits.width d) in
+  ignore (add_cell t (Cell.Dff { d; q }));
+  q
+
+(* Single-bit helpers used heavily by generators and tests. *)
+let mk_and t a b = (mk_binary t Cell.And [| a |] [| b |]).(0)
+let mk_or t a b = (mk_binary t Cell.Or [| a |] [| b |]).(0)
+let mk_xor t a b = (mk_binary t Cell.Xor [| a |] [| b |]).(0)
+let mk_not t a = (mk_unary t Cell.Not [| a |]).(0)
+
+let mk_eq_const t (s : Bits.sigspec) v =
+  (mk_binary t Cell.Eq s (Bits.of_int ~width:(Bits.width s) v)).(0)
+
+(* Copy the whole circuit (fresh tables, same ids). *)
+let copy t =
+  {
+    name = t.name;
+    next_wire_id = t.next_wire_id;
+    next_cell_id = t.next_cell_id;
+    wires = Hashtbl.copy t.wires;
+    cells = Hashtbl.copy t.cells;
+    ports = t.ports;
+  }

@@ -1,0 +1,84 @@
+(** A circuit: one flat module of wires and cells.
+
+    Cells live in a mutable table so optimization passes can rewrite them
+    in place; derive {!Index} structures for connectivity queries. *)
+
+type wire = { wire_id : int; wire_name : string; width : int }
+
+type port_dir = Input | Output
+
+type t = {
+  name : string;
+  mutable next_wire_id : int;
+  mutable next_cell_id : int;
+  wires : (int, wire) Hashtbl.t;
+  cells : (int, Cell.t) Hashtbl.t;
+  mutable ports : (port_dir * wire) list;
+}
+
+val create : string -> t
+
+(** {1 Wires} *)
+
+val add_wire : t -> ?name:string -> width:int -> unit -> wire
+val wire : t -> int -> wire
+val wire_opt : t -> int -> wire option
+val remove_wire : t -> int -> unit
+
+val sig_of_wire : wire -> Bits.sigspec
+(** Every bit of the wire, LSB first. *)
+
+val bit_of_wire : wire -> Bits.bit
+(** The single bit of a 1-bit wire. @raise Invalid_argument otherwise. *)
+
+val fresh_sig : t -> width:int -> Bits.sigspec
+(** A fresh anonymous wire, as a sigspec. *)
+
+val fresh_bit : t -> Bits.bit
+
+(** {1 Ports} *)
+
+val add_input : t -> string -> width:int -> wire
+val add_output : t -> string -> width:int -> wire
+val set_output : t -> wire -> unit
+val inputs : t -> wire list
+val outputs : t -> wire list
+val input_bits : t -> Bits.bit list
+val output_bits : t -> Bits.bit list
+
+(** {1 Cells} *)
+
+val add_cell : t -> Cell.t -> int
+(** Checks widths; returns the new cell id. *)
+
+val cell : t -> int -> Cell.t
+val cell_opt : t -> int -> Cell.t option
+val replace_cell : t -> int -> Cell.t -> unit
+val remove_cell : t -> int -> unit
+val iter_cells : (int -> Cell.t -> unit) -> t -> unit
+val fold_cells : (int -> Cell.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val cell_ids : t -> int list
+(** All cell ids, ascending. *)
+
+val cell_count : t -> int
+val wire_count : t -> int
+
+(** {1 Builders} — create the cell and return its fresh output. *)
+
+val mk_unary : t -> Cell.unary_op -> Bits.sigspec -> Bits.sigspec
+val mk_binary : t -> Cell.binary_op -> Bits.sigspec -> Bits.sigspec -> Bits.sigspec
+val mk_mux : t -> a:Bits.sigspec -> b:Bits.sigspec -> s:Bits.bit -> Bits.sigspec
+val mk_pmux : t -> a:Bits.sigspec -> b:Bits.sigspec -> s:Bits.sigspec -> Bits.sigspec
+val mk_dff : t -> d:Bits.sigspec -> Bits.sigspec
+
+val mk_and : t -> Bits.bit -> Bits.bit -> Bits.bit
+val mk_or : t -> Bits.bit -> Bits.bit -> Bits.bit
+val mk_xor : t -> Bits.bit -> Bits.bit -> Bits.bit
+val mk_not : t -> Bits.bit -> Bits.bit
+
+val mk_eq_const : t -> Bits.sigspec -> int -> Bits.bit
+(** [mk_eq_const c s v] is the bit [s == v]. *)
+
+val copy : t -> t
+(** Deep copy (fresh tables; wire/cell ids preserved). *)

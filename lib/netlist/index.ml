@@ -1,0 +1,72 @@
+(* Structural indices over a circuit: who drives each bit, and which cells
+   read each bit.  Rebuilt from scratch after mutating passes. *)
+
+type driver =
+  | Driven_by of int * int (* cell id, offset within its output sigspec *)
+  | Primary_input
+  | Undriven
+
+type t = {
+  drivers : driver Bits.Bit_tbl.t;
+  readers : (int, unit) Hashtbl.t Bits.Bit_tbl.t; (* bit -> set of cell ids *)
+}
+
+let build (c : Circuit.t) =
+  let drivers = Bits.Bit_tbl.create 256 in
+  let readers = Bits.Bit_tbl.create 256 in
+  List.iter
+    (fun b -> Bits.Bit_tbl.replace drivers b Primary_input)
+    (Circuit.input_bits c);
+  Circuit.iter_cells
+    (fun id cell ->
+      let y = Cell.output cell in
+      Array.iteri
+        (fun off b ->
+          match b with
+          | Bits.Of_wire _ -> Bits.Bit_tbl.replace drivers b (Driven_by (id, off))
+          | Bits.C0 | Bits.C1 | Bits.Cx ->
+            invalid_arg "Index.build: cell output connected to a constant")
+        y;
+      List.iter
+        (fun b ->
+          if not (Bits.is_const b) then begin
+            let set =
+              match Bits.Bit_tbl.find_opt readers b with
+              | Some s -> s
+              | None ->
+                let s = Hashtbl.create 4 in
+                Bits.Bit_tbl.replace readers b s;
+                s
+            in
+            Hashtbl.replace set id ()
+          end)
+        (Cell.input_bits cell))
+    c;
+  { drivers; readers }
+
+let driver t (b : Bits.bit) =
+  match b with
+  | Bits.C0 | Bits.C1 | Bits.Cx -> Undriven
+  | Bits.Of_wire _ -> (
+    match Bits.Bit_tbl.find_opt t.drivers b with
+    | Some d -> d
+    | None -> Undriven)
+
+(* The cell driving bit [b], if any. *)
+let driving_cell t b =
+  match driver t b with
+  | Driven_by (id, off) -> Some (id, off)
+  | Primary_input | Undriven -> None
+
+let readers t (b : Bits.bit) =
+  match Bits.Bit_tbl.find_opt t.readers b with
+  | Some set -> Hashtbl.fold (fun id () acc -> id :: acc) set []
+  | None -> []
+
+(* Number of distinct cells reading any bit of [s]. *)
+let fanout_cells t (s : Bits.sigspec) =
+  let acc = Hashtbl.create 8 in
+  Array.iter
+    (fun b -> List.iter (fun id -> Hashtbl.replace acc id ()) (readers t b))
+    s;
+  Hashtbl.fold (fun id () l -> id :: l) acc []

@@ -1,0 +1,22 @@
+(** Structural indices: which cell drives each bit, which cells read it.
+    Rebuild after mutating passes. *)
+
+type driver =
+  | Driven_by of int * int  (** cell id, offset in its output sigspec *)
+  | Primary_input
+  | Undriven
+
+type t
+
+val build : Circuit.t -> t
+
+val driver : t -> Bits.bit -> driver
+
+val driving_cell : t -> Bits.bit -> (int * int) option
+(** [(cell id, output offset)] when a cell drives the bit. *)
+
+val readers : t -> Bits.bit -> int list
+(** Cells reading the bit (any input port). *)
+
+val fanout_cells : t -> Bits.sigspec -> int list
+(** Distinct cells reading any bit of the sigspec. *)

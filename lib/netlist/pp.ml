@@ -1,0 +1,23 @@
+(* Textual dump of a circuit, loosely following the RTLIL look. *)
+
+let pp_wire (c : Circuit.t) ppf (w : Circuit.wire) =
+  ignore c;
+  Fmt.pf ppf "wire width %d %s (id %d)" w.Circuit.width w.Circuit.wire_name
+    w.Circuit.wire_id
+
+let pp ppf (c : Circuit.t) =
+  Fmt.pf ppf "module %s@." c.Circuit.name;
+  List.iter
+    (fun w -> Fmt.pf ppf "  input  %a@." (pp_wire c) w)
+    (Circuit.inputs c);
+  List.iter
+    (fun w -> Fmt.pf ppf "  output %a@." (pp_wire c) w)
+    (Circuit.outputs c);
+  List.iter
+    (fun id -> Fmt.pf ppf "  cell %d: %a@." id Cell.pp (Circuit.cell c id))
+    (Circuit.cell_ids c);
+  Fmt.pf ppf "end@."
+
+let to_string c = Fmt.str "%a" pp c
+
+let print c = print_string (to_string c)

@@ -1,0 +1,5 @@
+(** Textual dump of a circuit (RTLIL-flavoured). *)
+
+val pp : Format.formatter -> Circuit.t -> unit
+val to_string : Circuit.t -> string
+val print : Circuit.t -> unit

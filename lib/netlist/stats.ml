@@ -1,0 +1,62 @@
+(* Per-cell-kind statistics for a circuit. *)
+
+type t = {
+  total : int;
+  muxes : int;
+  pmuxes : int;
+  eqs : int;
+  dffs : int;
+  logic : int; (* logic_and/or/not, reduce_* *)
+  bitwise : int; (* and/or/xor/xnor/not *)
+  arith : int; (* add/sub *)
+  wires : int;
+  mux_bits : int; (* sum of mux widths: proxy for post-techmap mux count *)
+}
+
+let of_circuit (c : Circuit.t) =
+  let total = ref 0
+  and muxes = ref 0
+  and pmuxes = ref 0
+  and eqs = ref 0
+  and dffs = ref 0
+  and logic = ref 0
+  and bitwise = ref 0
+  and arith = ref 0
+  and mux_bits = ref 0 in
+  Circuit.iter_cells
+    (fun _ cell ->
+      incr total;
+      match cell with
+      | Cell.Mux { y; _ } ->
+        incr muxes;
+        mux_bits := !mux_bits + Bits.width y
+      | Cell.Pmux { y; s; _ } ->
+        incr pmuxes;
+        mux_bits := !mux_bits + (Bits.width y * Bits.width s)
+      | Cell.Binary { op = Eq | Ne; _ } -> incr eqs
+      | Cell.Dff _ -> incr dffs
+      | Cell.Unary { op = Logic_not | Reduce_and | Reduce_or | Reduce_xor | Reduce_bool; _ }
+      | Cell.Binary { op = Logic_and | Logic_or; _ } -> incr logic
+      | Cell.Unary { op = Not; _ }
+      | Cell.Binary { op = And | Or | Xor | Xnor; _ } -> incr bitwise
+      | Cell.Binary { op = Add | Sub; _ } -> incr arith)
+    c;
+  {
+    total = !total;
+    muxes = !muxes;
+    pmuxes = !pmuxes;
+    eqs = !eqs;
+    dffs = !dffs;
+    logic = !logic;
+    bitwise = !bitwise;
+    arith = !arith;
+    wires = Circuit.wire_count c;
+    mux_bits = !mux_bits;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "cells=%d mux=%d pmux=%d eq=%d dff=%d logic=%d bitwise=%d arith=%d \
+     wires=%d mux_bits=%d"
+    s.total s.muxes s.pmuxes s.eqs s.dffs s.logic s.bitwise s.arith s.wires
+    s.mux_bits

@@ -1,0 +1,17 @@
+(** Per-cell-kind statistics. *)
+
+type t = {
+  total : int;
+  muxes : int;
+  pmuxes : int;
+  eqs : int;  (** $eq and $ne cells *)
+  dffs : int;
+  logic : int;  (** logic_* and reduce_* cells *)
+  bitwise : int;  (** not/and/or/xor/xnor *)
+  arith : int;  (** add/sub *)
+  wires : int;
+  mux_bits : int;  (** sum of mux widths: post-techmap 1-bit mux count *)
+}
+
+val of_circuit : Circuit.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+(* Topological ordering of the combinational cells of a circuit.
+
+   Dff cells break combinational paths: their outputs are treated as
+   sources (like primary inputs) and their inputs as sinks.  A cycle through
+   combinational cells is reported via [Combinational_cycle]. *)
+
+exception Combinational_cycle of int list (* cell ids on the cycle *)
+
+(* Returns combinational cell ids in dependency order (drivers first).
+   Dff cells are appended at the end (they have no ordering constraints
+   among themselves). *)
+let sort (c : Circuit.t) : int list =
+  let index = Index.build c in
+  let state = Hashtbl.create 64 in
+  (* 0 = unvisited, 1 = in progress, 2 = done *)
+  let order = ref [] in
+  let rec visit path id =
+    match Hashtbl.find_opt state id with
+    | Some 2 -> ()
+    | Some 1 -> raise (Combinational_cycle (id :: path))
+    | Some _ | None ->
+      let cell = Circuit.cell c id in
+      if Cell.is_combinational cell then begin
+        Hashtbl.replace state id 1;
+        List.iter
+          (fun b ->
+            match Index.driving_cell index b with
+            | Some (did, _) when Cell.is_combinational (Circuit.cell c did) ->
+              visit (id :: path) did
+            | Some _ | None -> ())
+          (Cell.input_bits cell);
+        Hashtbl.replace state id 2;
+        order := id :: !order
+      end
+      else Hashtbl.replace state id 2
+  in
+  List.iter (visit []) (Circuit.cell_ids c);
+  let comb = List.rev !order in
+  let seq =
+    List.filter
+      (fun id -> not (Cell.is_combinational (Circuit.cell c id)))
+      (Circuit.cell_ids c)
+  in
+  comb @ seq
+
+let is_acyclic c =
+  match sort c with _ -> true | exception Combinational_cycle _ -> false
+
+(* Depth of each combinational cell: 1 + max depth of driver cells.
+   Used to measure muxtree height and circuit logic depth. *)
+let depths (c : Circuit.t) : (int, int) Hashtbl.t =
+  let index = Index.build c in
+  let order = sort c in
+  let depth = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      let cell = Circuit.cell c id in
+      if Cell.is_combinational cell then begin
+        let d =
+          List.fold_left
+            (fun acc b ->
+              match Index.driving_cell index b with
+              | Some (did, _) -> (
+                match Hashtbl.find_opt depth did with
+                | Some dd -> max acc dd
+                | None -> acc)
+              | None -> acc)
+            0
+            (Cell.input_bits cell)
+        in
+        Hashtbl.replace depth id (d + 1)
+      end)
+    order;
+  depth
+
+let logic_depth c =
+  Hashtbl.fold (fun _ d acc -> max d acc) (depths c) 0

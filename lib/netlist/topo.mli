@@ -1,0 +1,17 @@
+(** Topological ordering of combinational cells.  Dff cells cut paths:
+    their outputs behave like primary inputs. *)
+
+exception Combinational_cycle of int list
+(** Cell ids on the offending cycle. *)
+
+val sort : Circuit.t -> int list
+(** Combinational cells in dependency order (drivers first), then the
+    sequential cells.  @raise Combinational_cycle on a loop. *)
+
+val is_acyclic : Circuit.t -> bool
+
+val depths : Circuit.t -> (int, int) Hashtbl.t
+(** Per-cell logic depth (1 + max over driver depths). *)
+
+val logic_depth : Circuit.t -> int
+(** Maximum combinational depth of the circuit. *)

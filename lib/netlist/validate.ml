@@ -1,0 +1,65 @@
+(* Well-formedness checks for circuits.  Used by tests and after every
+   optimization pass in debug builds. *)
+
+type issue =
+  | Multiple_drivers of Bits.bit
+  | Dangling_wire_bit of Bits.bit (* read but never driven *)
+  | Width_violation of int * string (* cell id, message *)
+  | Unknown_wire of int (* referenced wire id missing from the wire table *)
+  | Cyclic
+
+let pp_issue ppf = function
+  | Multiple_drivers b -> Fmt.pf ppf "multiple drivers for %a" Bits.pp_bit b
+  | Dangling_wire_bit b -> Fmt.pf ppf "bit %a read but undriven" Bits.pp_bit b
+  | Width_violation (id, m) -> Fmt.pf ppf "cell %d: %s" id m
+  | Unknown_wire id -> Fmt.pf ppf "unknown wire %d" id
+  | Cyclic -> Fmt.pf ppf "combinational cycle"
+
+let check (c : Circuit.t) : issue list =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  let driven = Bits.Bit_tbl.create 256 in
+  List.iter
+    (fun b -> Bits.Bit_tbl.replace driven b ())
+    (Circuit.input_bits c);
+  let check_wire_ref b =
+    match b with
+    | Bits.Of_wire (wid, off) -> (
+      match Circuit.wire_opt c wid with
+      | None -> add (Unknown_wire wid)
+      | Some w -> if off < 0 || off >= w.Circuit.width then add (Unknown_wire wid))
+    | Bits.C0 | Bits.C1 | Bits.Cx -> ()
+  in
+  Circuit.iter_cells
+    (fun id cell ->
+      (match Cell.check_widths cell with
+      | () -> ()
+      | exception Cell.Width_error m -> add (Width_violation (id, m)));
+      List.iter check_wire_ref (Cell.input_bits cell);
+      List.iter
+        (fun b ->
+          check_wire_ref b;
+          if Bits.Bit_tbl.mem driven b then add (Multiple_drivers b)
+          else Bits.Bit_tbl.replace driven b ())
+        (Cell.output_bits cell))
+    c;
+  (* every bit read by a cell or exported as an output must be driven *)
+  let check_read b =
+    if (not (Bits.is_const b)) && not (Bits.Bit_tbl.mem driven b) then
+      add (Dangling_wire_bit b)
+  in
+  Circuit.iter_cells
+    (fun _ cell -> List.iter check_read (Cell.input_bits cell))
+    c;
+  List.iter check_read (Circuit.output_bits c);
+  if not (Topo.is_acyclic c) then add Cyclic;
+  List.rev !issues
+
+let is_well_formed c = check c = []
+
+let check_exn c =
+  match check c with
+  | [] -> ()
+  | issues ->
+    let msg = Fmt.str "@[<v>%a@]" (Fmt.list pp_issue) issues in
+    failwith ("Validate.check_exn: " ^ msg)

@@ -1,0 +1,17 @@
+(** Well-formedness checks: single drivers, no dangling reads, width
+    consistency, acyclicity. *)
+
+type issue =
+  | Multiple_drivers of Bits.bit
+  | Dangling_wire_bit of Bits.bit  (** read or exported but never driven *)
+  | Width_violation of int * string  (** cell id, message *)
+  | Unknown_wire of int
+  | Cyclic
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check : Circuit.t -> issue list
+val is_well_formed : Circuit.t -> bool
+
+val check_exn : Circuit.t -> unit
+(** @raise Failure listing all issues, if any. *)

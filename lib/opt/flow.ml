@@ -1,0 +1,39 @@
+(* Baseline optimization flow: the Yosys `opt` loop with `opt_muxtree`.
+   Repeats expression folding, muxtree pruning and dead-code removal until
+   nothing changes. *)
+
+type report = {
+  iterations : int;
+  expr_folded : int;
+  muxtree_changes : int;
+  cells_removed : int;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "iters=%d expr=%d muxtree=%d removed=%d" r.iterations
+    r.expr_folded r.muxtree_changes r.cells_removed
+
+let baseline (c : Netlist.Circuit.t) : report =
+  let expr_folded = ref 0 in
+  let muxtree_changes = ref 0 in
+  let cells_removed = ref 0 in
+  let rec loop iter =
+    if iter >= 16 then iter
+    else begin
+      let e = Opt_expr.run c in
+      let g = Opt_merge.run c in
+      let m = Opt_muxtree.run c in
+      let r = Opt_clean.run c in
+      expr_folded := !expr_folded + e + g;
+      muxtree_changes := !muxtree_changes + m;
+      cells_removed := !cells_removed + r;
+      if e + g + m + r > 0 then loop (iter + 1) else iter + 1
+    end
+  in
+  let iterations = loop 0 in
+  {
+    iterations;
+    expr_folded = !expr_folded;
+    muxtree_changes = !muxtree_changes;
+    cells_removed = !cells_removed;
+  }

@@ -1,0 +1,13 @@
+(** The baseline optimization flow: the Yosys [opt] loop
+    (opt_expr, opt_merge, opt_muxtree, opt_clean) to fixpoint. *)
+
+type report = {
+  iterations : int;
+  expr_folded : int;
+  muxtree_changes : int;
+  cells_removed : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val baseline : Netlist.Circuit.t -> report

@@ -1,0 +1,7 @@
+(** Constant folding and transparent-cell removal (Yosys [opt_expr]):
+    constant-output cells fold, or-with-0 / and-with-1 / xor-with-0 /
+    constant-select muxes pass through, [a == a] folds to 1.  Cells
+    driving output ports are normalized to buffers instead of removed. *)
+
+val run : Netlist.Circuit.t -> int
+(** Run to fixpoint; returns the number of cells simplified away. *)

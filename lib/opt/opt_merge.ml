@@ -1,0 +1,80 @@
+(* Structural cell sharing, a la Yosys `opt_merge`: combinational cells with
+   identical kind and identical input connections are merged; readers of the
+   duplicate's outputs are rewired to the survivor. *)
+
+open Netlist
+
+(* A structural key for a cell: its printed form minus the outputs. *)
+let cell_key (cell : Cell.t) : string option =
+  let sig_key (s : Bits.sigspec) =
+    String.concat ","
+      (Array.to_list
+         (Array.map
+            (function
+              | Bits.C0 -> "0"
+              | Bits.C1 -> "1"
+              | Bits.Cx -> "x"
+              | Bits.Of_wire (w, o) -> Printf.sprintf "%d.%d" w o)
+            s))
+  in
+  match cell with
+  | Cell.Unary { op; a; y } ->
+    Some
+      (Printf.sprintf "u%s|%s|%d" (Cell.unary_op_name op) (sig_key a)
+         (Bits.width y))
+  | Cell.Binary { op; a; b; y } ->
+    let sa = sig_key a and sb = sig_key b in
+    let commutative =
+      match op with
+      | Cell.And | Cell.Or | Cell.Xor | Cell.Xnor | Cell.Eq | Cell.Ne
+      | Cell.Add | Cell.Logic_and | Cell.Logic_or -> true
+      | Cell.Sub -> false
+    in
+    let sa, sb = if commutative && sb < sa then sb, sa else sa, sb in
+    Some
+      (Printf.sprintf "b%s|%s|%s|%d" (Cell.binary_op_name op) sa sb
+         (Bits.width y))
+  | Cell.Mux { a; b; s; y } ->
+    Some
+      (Printf.sprintf "m|%s|%s|%s|%d" (sig_key a) (sig_key b)
+         (sig_key [| s |]) (Bits.width y))
+  | Cell.Pmux { a; b; s; y } ->
+    Some
+      (Printf.sprintf "p|%s|%s|%s|%d" (sig_key a) (sig_key b) (sig_key s)
+         (Bits.width y))
+  | Cell.Dff _ -> None
+
+(* One sweep; returns number of merged cells. *)
+let run_once (c : Circuit.t) : int =
+  let table : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let merged = ref 0 in
+  List.iter
+    (fun id ->
+      match Circuit.cell_opt c id with
+      | None -> ()
+      | Some cell -> (
+        match cell_key cell with
+        | None -> ()
+        | Some key -> (
+          match Hashtbl.find_opt table key with
+          | None -> Hashtbl.replace table key id
+          | Some survivor_id ->
+            let survivor = Circuit.cell c survivor_id in
+            let y_dup = Cell.output cell in
+            Circuit.remove_cell c id;
+            Rewire.replace_sig c ~from_:y_dup ~to_:(Cell.output survivor);
+            incr merged)))
+    (Circuit.cell_ids c);
+  !merged
+
+let run (c : Circuit.t) : int =
+  let total = ref 0 in
+  let rec fix iter =
+    if iter < 8 then begin
+      let n = run_once c in
+      total := !total + n;
+      if n > 0 then fix (iter + 1)
+    end
+  in
+  fix 0;
+  !total

@@ -1,0 +1,6 @@
+(** Structural cell sharing (Yosys [opt_merge]): combinational cells with
+    identical kind and inputs (commutative inputs normalized) merge into
+    one; readers of duplicates are rewired. *)
+
+val run_once : Netlist.Circuit.t -> int
+val run : Netlist.Circuit.t -> int

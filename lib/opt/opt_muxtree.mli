@@ -1,0 +1,27 @@
+(** The Yosys [opt_muxtree] baseline.
+
+    Muxtrees are traversed from their roots; along every branch the control
+    bits chosen so far are known.  The two Yosys rules apply (paper Figs. 1
+    and 2): a descendant mux with an already-known *identical* control bit
+    is bypassed, and data bits equal to a known control bit become
+    constants.  A descendant is eliminable only when all reads of its
+    output come from one data-port side of one mux. *)
+
+open Netlist
+
+type side = Side_a | Side_b of int  (** pmux part index; a Mux's b-side is part 0 *)
+
+type readers
+(** Who reads each bit: mux data ports (with location) vs everything else. *)
+
+val collect_readers : Circuit.t -> readers
+
+val dedicated_location : readers -> Cell.t -> (int * side) option
+(** The unique (mux id, side) reading every output bit of the cell, if the
+    cell is dedicated to a single tree location. *)
+
+val run_once : Circuit.t -> int * int
+(** One traversal; returns (bypassed mux-bits, constant-folded data bits). *)
+
+val run : Circuit.t -> int
+(** Iterate to fixpoint; returns the total number of changes. *)

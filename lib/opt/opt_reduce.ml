@@ -1,0 +1,97 @@
+(* A slice of Yosys `opt_reduce`: pmux grooming.
+
+   - parts whose data equals the default collapse into the default
+     (their select is dropped);
+   - parts with identical data merge, or-ing their selects — only when
+     no earlier part with *different* data sits between them, which would
+     change priority semantics;
+   - constant-false selects drop their part;
+   - a pmux left with no parts becomes its default, with one part a mux.
+
+   Kept out of the default flows (the paper's baseline is opt_expr +
+   opt_merge + opt_muxtree + opt_clean); available for experiments. *)
+
+open Netlist
+
+type action = Keep | Changed of Cell.t | Collapse of Bits.sigspec
+
+let groom_pmux (c : Circuit.t) (p : Cell.t) : action =
+  match p with
+  | Cell.Pmux { a; b; s; y } ->
+    let w = Bits.width a in
+    let n = Bits.width s in
+    let parts =
+      List.init n (fun i -> s.(i), Bits.slice b ~off:(i * w) ~len:w)
+    in
+    (* drop constant-false selects *)
+    let parts =
+      List.filter (fun (sel, _) -> not (Bits.bit_equal sel Bits.C0)) parts
+    in
+    (* merge adjacent-compatible identical-data parts: scan in priority
+       order, or-ing a later part into an earlier one is safe only if all
+       parts in between carry the same data *)
+    let merged : (Bits.bit * Bits.sigspec) list =
+      List.fold_left
+        (fun acc (sel, data) ->
+          match acc with
+          | (prev_sel, prev_data) :: rest when Bits.equal prev_data data ->
+            (Circuit.mk_or c prev_sel sel, prev_data) :: rest
+          | _ -> (sel, data) :: acc)
+        [] parts
+      |> List.rev
+    in
+    (* a trailing run equal to the default folds into the default *)
+    let drop_default_tail = function
+      | [] -> []
+      | l ->
+        let rev = List.rev l in
+        let rec go = function
+          | (_, data) :: rest when Bits.equal data a -> go rest
+          | kept -> List.rev kept
+        in
+        go rev
+    in
+    let merged = drop_default_tail merged in
+    if List.length merged = n then Keep
+    else begin
+      match merged with
+      | [] -> Collapse a
+      | [ (sel, data) ] -> Changed (Cell.Mux { a; b = data; s = sel; y })
+      | parts ->
+        let s' = Array.of_list (List.map fst parts) in
+        let b' = Bits.concat (List.map snd parts) in
+        Changed (Cell.Pmux { a; b = b'; s = s'; y })
+    end
+  | Cell.Mux _ | Cell.Unary _ | Cell.Binary _ | Cell.Dff _ -> Keep
+
+let run_once (c : Circuit.t) : int =
+  let changed = ref 0 in
+  List.iter
+    (fun id ->
+      match Circuit.cell_opt c id with
+      | None -> ()
+      | Some cell -> (
+        match groom_pmux c cell with
+        | Keep -> ()
+        | Changed cell' ->
+          Circuit.replace_cell c id cell';
+          incr changed
+        | Collapse value ->
+          let y = Cell.output cell in
+          Rewire.replace_sig c ~from_:y ~to_:value;
+          Circuit.remove_cell c id;
+          incr changed))
+    (Circuit.cell_ids c);
+  !changed
+
+let run (c : Circuit.t) : int =
+  let total = ref 0 in
+  let rec fix iter =
+    if iter < 8 then begin
+      let n = run_once c in
+      total := !total + n;
+      if n > 0 then fix (iter + 1)
+    end
+  in
+  fix 0;
+  !total

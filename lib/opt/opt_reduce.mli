@@ -1,0 +1,7 @@
+(** A slice of Yosys [opt_reduce]: pmux grooming — constant-false selects
+    drop their part, consecutive identical-data parts merge (or-ing their
+    selects), trailing parts equal to the default fold away.  Not part of
+    the default flows; available for experiments. *)
+
+val run_once : Netlist.Circuit.t -> int
+val run : Netlist.Circuit.t -> int

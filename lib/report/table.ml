@@ -1,0 +1,58 @@
+(* Minimal ASCII table rendering for the benchmark harness and the CLI. *)
+
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+let column ?(align = Right) title = { title; align }
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ~columns ~(rows : string list list) : string =
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          (String.length col.title)
+          rows)
+      columns
+  in
+  let buf = Buffer.create 512 in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let render_row cells =
+    let padded =
+      List.mapi
+        (fun i col ->
+          let cell = match List.nth_opt cells i with Some c -> c | None -> "" in
+          let w = List.nth widths i in
+          " " ^ pad col.align w cell ^ " ")
+        columns
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.add_string buf
+    (render_row (List.map (fun c -> c.title) columns) ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.contents buf
+
+let print ~columns ~rows = print_string (render ~columns ~rows)
+
+(* formatting helpers *)
+let pct v = Printf.sprintf "%.2f%%" v
+let int_ v = string_of_int v

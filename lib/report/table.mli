@@ -1,0 +1,15 @@
+(** Minimal ASCII tables for the benchmark harness and the CLI. *)
+
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+val column : ?align:align -> string -> column
+
+val render : columns:column list -> rows:string list list -> string
+val print : columns:column list -> rows:string list list -> unit
+
+val pct : float -> string
+(** ["12.34%"]. *)
+
+val int_ : int -> string

@@ -1,0 +1,58 @@
+(* DIMACS CNF parsing and printing — useful for debugging the solver against
+   external instances and for dumping sub-graph queries. *)
+
+type cnf = { num_vars : int; clauses : int list list (* DIMACS ints *) }
+
+let parse_string text : cnf =
+  let num_vars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = 'c' then ()
+         else if line.[0] = 'p' then begin
+           match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+           | [ "p"; "cnf"; nv; _nc ] -> num_vars := int_of_string nv
+           | _ -> invalid_arg "Dimacs.parse_string: bad problem line"
+         end
+         else
+           String.split_on_char ' ' line
+           |> List.filter (( <> ) "")
+           |> List.iter (fun tok ->
+                  let v = int_of_string tok in
+                  if v = 0 then begin
+                    clauses := List.rev !current :: !clauses;
+                    current := []
+                  end
+                  else current := v :: !current));
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { num_vars = !num_vars; clauses = List.rev !clauses }
+
+let to_string (c : cnf) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" c.num_vars (List.length c.clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    c.clauses;
+  Buffer.contents buf
+
+(* Load a parsed CNF into a fresh solver. *)
+let load (c : cnf) : Solver.t =
+  let s = Solver.create () in
+  let vars = Array.init c.num_vars (fun _ -> Solver.new_var s) in
+  List.iter
+    (fun clause ->
+      let lits =
+        List.map
+          (fun d ->
+            let v = vars.(abs d - 1) in
+            Lit.of_var ~negated:(d < 0) v)
+          clause
+      in
+      Solver.add_clause s lits)
+    c.clauses;
+  s

@@ -1,0 +1,10 @@
+(** DIMACS CNF parsing, printing, and loading into a solver. *)
+
+type cnf = { num_vars : int; clauses : int list list }
+
+val parse_string : string -> cnf
+(** @raise Invalid_argument on malformed input. *)
+
+val to_string : cnf -> string
+
+val load : cnf -> Solver.t

@@ -1,0 +1,20 @@
+(* Literals, MiniSAT encoding: lit = 2*var + sign, sign 1 = negated. *)
+
+type t = int
+
+let of_var ?(negated = false) v =
+  if v < 0 then invalid_arg "Lit.of_var";
+  (v * 2) + if negated then 1 else 0
+
+let var (l : t) = l lsr 1
+let negate (l : t) = l lxor 1
+let is_negated (l : t) = l land 1 = 1
+
+(* DIMACS integer form: variable v as 1-based, negative when negated. *)
+let to_dimacs (l : t) = if is_negated l then -(var l + 1) else var l + 1
+
+let of_dimacs d =
+  if d = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if d > 0 then of_var (d - 1) else of_var ~negated:true (-d - 1)
+
+let pp ppf l = Fmt.int ppf (to_dimacs l)

@@ -1,0 +1,16 @@
+(** Literals in MiniSAT encoding: [lit = 2*var + sign], sign 1 = negated. *)
+
+type t = int
+
+val of_var : ?negated:bool -> int -> t
+val var : t -> int
+val negate : t -> t
+val is_negated : t -> bool
+
+val to_dimacs : t -> int
+(** 1-based signed integer form. *)
+
+val of_dimacs : int -> t
+(** @raise Invalid_argument on zero. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(** A CDCL SAT solver in the MiniSAT tradition: two-watched-literal
+    propagation, first-UIP learning with clause minimization, VSIDS with
+    phase saving, Luby restarts, learnt-database reduction, and incremental
+    solving under assumptions. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable (0-based). *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+val num_conflicts : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a problem clause.  Tautologies are dropped; duplicate and falsified
+    literals are cleaned.  Safe between incremental [solve] calls (the
+    trail is rewound to level 0 first). *)
+
+val solve : ?assumptions:Lit.t list -> ?budget:int -> t -> result
+(** Solve under the given assumption literals.  [budget] caps the number
+    of total conflicts before giving up with [Unknown].  After [Sat] the
+    model remains readable until the next mutation. *)
+
+val model_value : t -> int -> bool
+(** Value of a variable in the last model (phase-saved default when the
+    variable was unconstrained). *)
+
+val release_model : t -> unit
+(** Rewind the trail after reading a model. *)
+
+val value_var : t -> int -> int
+(** Current assignment of a variable: 1 true, 0 false, -1 unassigned. *)
+
+val value_lit : t -> Lit.t -> int
+(** Current assignment of a literal: 1 true, 0 false, -1 unassigned. *)
+
+val stats : t -> int * int * int
+(** (conflicts, decisions, propagations). *)

@@ -1,0 +1,31 @@
+(** Tseitin encoding of circuit sub-DAGs into CNF. *)
+
+open Netlist
+
+type t = {
+  solver : Solver.t;
+  vars : int Bits.Bit_tbl.t;  (** wire bit -> SAT variable *)
+  true_lit : Lit.t;  (** a variable asserted true, for constants *)
+}
+
+val create : unit -> t
+(** A fresh encoder with its own solver. *)
+
+val lit_of_bit : t -> Bits.bit -> Lit.t
+(** The SAT literal of a wire bit (allocated on first use); constants map
+    to the dedicated true variable. *)
+
+val encode_cell : t -> Cell.t -> unit
+(** @raise Invalid_argument on sequential cells. *)
+
+val encode_cells : t -> Circuit.t -> int list -> unit
+
+val assume_lit : t -> Bits.bit -> bool -> Lit.t
+(** Assumption literal asserting the bit's value. *)
+
+type query_result = Forced of bool | Free | Undetermined
+
+val query_forced :
+  ?budget:int -> t -> assumptions:Lit.t list -> target:Bits.bit -> query_result
+(** Is the target bit forced under the assumptions?  Two incremental
+    solver calls: SAT(target=1) and SAT(target=0). *)

@@ -1,0 +1,150 @@
+(* Three-valued evaluation of circuits and sub-DAGs.
+
+   The environment maps wire bits to values.  Constant bits evaluate to
+   themselves; any bit absent from the environment reads as X, so partial
+   evaluation over a sub-graph is safe by construction. *)
+
+open Netlist
+
+type env = Value.t Bits.Bit_tbl.t
+
+let create_env () : env = Bits.Bit_tbl.create 64
+
+let read (env : env) (b : Bits.bit) : Value.t =
+  match b with
+  | Bits.C0 -> Value.V0
+  | Bits.C1 -> Value.V1
+  | Bits.Cx -> Value.Vx
+  | Bits.Of_wire _ -> (
+    match Bits.Bit_tbl.find_opt env b with
+    | Some v -> v
+    | None -> Value.Vx)
+
+let write (env : env) (b : Bits.bit) (v : Value.t) =
+  match b with
+  | Bits.Of_wire _ -> Bits.Bit_tbl.replace env b v
+  | Bits.C0 | Bits.C1 | Bits.Cx -> ()
+
+let read_vec env (s : Bits.sigspec) = Array.map (read env) s
+
+(* Reduce a value vector with [f] starting from [init]. *)
+let reduce f init vs = Array.fold_left f init vs
+
+let vec_to_bool_opt vs =
+  Array.fold_left
+    (fun acc v ->
+      match acc, Value.to_bool v with
+      | Some l, Some b -> Some (b :: l)
+      | _, None | None, _ -> None)
+    (Some []) vs
+  |> Option.map List.rev
+
+(* Evaluate one cell, writing its outputs into [env].  Dff cells are
+   ignored: their q bits are state, set externally by the caller. *)
+let eval_cell (env : env) (cell : Cell.t) =
+  let open Value in
+  let rv = read_vec env in
+  let set_vec y vs = Array.iteri (fun i v -> write env y.(i) v) vs in
+  let bool_vec vs =
+    (* collapse a vector to its "is nonzero" logic value *)
+    reduce v_or V0 vs
+  in
+  match cell with
+  | Cell.Unary { op = Not; a; y } -> set_vec y (Array.map v_not (rv a))
+  | Cell.Unary { op = Logic_not; a; y } ->
+    write env y.(0) (v_not (bool_vec (rv a)))
+  | Cell.Unary { op = Reduce_and; a; y } ->
+    write env y.(0) (reduce v_and V1 (rv a))
+  | Cell.Unary { op = Reduce_or; a; y } | Cell.Unary { op = Reduce_bool; a; y }
+    -> write env y.(0) (bool_vec (rv a))
+  | Cell.Unary { op = Reduce_xor; a; y } ->
+    write env y.(0) (reduce v_xor V0 (rv a))
+  | Cell.Binary { op = And; a; b; y } ->
+    set_vec y (Array.map2 v_and (rv a) (rv b))
+  | Cell.Binary { op = Or; a; b; y } ->
+    set_vec y (Array.map2 v_or (rv a) (rv b))
+  | Cell.Binary { op = Xor; a; b; y } ->
+    set_vec y (Array.map2 v_xor (rv a) (rv b))
+  | Cell.Binary { op = Xnor; a; b; y } ->
+    set_vec y (Array.map2 v_xnor (rv a) (rv b))
+  | Cell.Binary { op = Eq; a; b; y } ->
+    write env y.(0) (reduce v_and V1 (Array.map2 v_xnor (rv a) (rv b)))
+  | Cell.Binary { op = Ne; a; b; y } ->
+    write env y.(0) (reduce v_or V0 (Array.map2 v_xor (rv a) (rv b)))
+  | Cell.Binary { op = Logic_and; a; b; y } ->
+    write env y.(0) (v_and (bool_vec (rv a)) (bool_vec (rv b)))
+  | Cell.Binary { op = Logic_or; a; b; y } ->
+    write env y.(0) (v_or (bool_vec (rv a)) (bool_vec (rv b)))
+  | Cell.Binary { op = Add; a; b; y } ->
+    (* ripple with X-propagating carry *)
+    let va = rv a and vb = rv b in
+    let carry = ref V0 in
+    Array.iteri
+      (fun i _ ->
+        let s = v_xor (v_xor va.(i) vb.(i)) !carry in
+        let c =
+          v_or (v_and va.(i) vb.(i)) (v_and !carry (v_xor va.(i) vb.(i)))
+        in
+        write env y.(i) s;
+        carry := c)
+      y
+  | Cell.Binary { op = Sub; a; b; y } ->
+    (* a - b = a + ~b + 1 *)
+    let va = rv a and vb = Array.map v_not (rv b) in
+    let carry = ref V1 in
+    Array.iteri
+      (fun i _ ->
+        let s = v_xor (v_xor va.(i) vb.(i)) !carry in
+        let c =
+          v_or (v_and va.(i) vb.(i)) (v_and !carry (v_xor va.(i) vb.(i)))
+        in
+        write env y.(i) s;
+        carry := c)
+      y
+  | Cell.Mux { a; b; s; y } ->
+    let vs = read env s in
+    let va = rv a and vb = rv b in
+    Array.iteri (fun i _ -> write env y.(i) (v_mux ~a:va.(i) ~b:vb.(i) ~s:vs)) y
+  | Cell.Pmux { a; b; s; y } ->
+    (* priority: lowest selector index wins; X select before any 1 poisons *)
+    let w = Bits.width a in
+    let rec pick i =
+      if i >= Bits.width s then `Default
+      else
+        match read env s.(i) with
+        | V1 -> `Part i
+        | Vx -> `Unknown
+        | V0 -> pick (i + 1)
+    in
+    (match pick 0 with
+    | `Part i ->
+      let part = Bits.slice b ~off:(i * w) ~len:w in
+      set_vec y (rv part)
+    | `Default -> set_vec y (rv a)
+    | `Unknown -> Array.iter (fun yb -> write env yb Vx) y)
+  | Cell.Dff _ -> ()
+
+(* Evaluate the cells [order] (must be a valid topological order of a
+   sub-DAG) against [env]. *)
+let eval_ordered (c : Circuit.t) (env : env) (order : int list) =
+  List.iter (fun id -> eval_cell env (Circuit.cell c id)) order
+
+(* Combinationally evaluate the whole circuit.  [inputs] assigns primary
+   input bits; dff outputs default to X unless assigned via [state]. *)
+let run (c : Circuit.t) ?(state = []) ~inputs () : env =
+  let env = create_env () in
+  List.iter (fun (b, v) -> write env b v) inputs;
+  List.iter (fun (b, v) -> write env b v) state;
+  eval_ordered c env (Topo.sort c);
+  env
+
+(* Read a multi-bit output as an integer if fully defined. *)
+let read_int env (s : Bits.sigspec) =
+  match vec_to_bool_opt (read_vec env s) with
+  | None -> None
+  | Some bools ->
+    (* [bools] is LSB first *)
+    Some
+      (List.fold_left
+         (fun acc b -> (acc * 2) + if b then 1 else 0)
+         0 (List.rev bools))

@@ -1,0 +1,33 @@
+(** Three-valued evaluation of circuits and sub-DAGs.
+
+    Bits absent from the environment read as X, so partial evaluation over
+    a sub-graph is safe by construction. *)
+
+open Netlist
+
+type env = Value.t Bits.Bit_tbl.t
+
+val create_env : unit -> env
+
+val read : env -> Bits.bit -> Value.t
+val write : env -> Bits.bit -> Value.t -> unit
+val read_vec : env -> Bits.sigspec -> Value.t array
+
+val eval_cell : env -> Cell.t -> unit
+(** Evaluate one cell, writing its outputs.  Dff cells are skipped: their
+    state is set externally. *)
+
+val eval_ordered : Circuit.t -> env -> int list -> unit
+(** Evaluate the given cells (a valid topological order of a sub-DAG). *)
+
+val run :
+  Circuit.t ->
+  ?state:(Bits.bit * Value.t) list ->
+  inputs:(Bits.bit * Value.t) list ->
+  unit ->
+  env
+(** Full combinational evaluation; dff outputs default to X unless given
+    in [state]. *)
+
+val read_int : env -> Bits.sigspec -> int option
+(** The unsigned value of a sigspec, when every bit is defined. *)

@@ -1,0 +1,43 @@
+(* Three-valued logic values: 0, 1, X (unknown). *)
+
+type t = V0 | V1 | Vx
+
+let of_bool b = if b then V1 else V0
+
+let to_bool = function V0 -> Some false | V1 -> Some true | Vx -> None
+
+let equal (a : t) (b : t) = a = b
+
+let v_not = function V0 -> V1 | V1 -> V0 | Vx -> Vx
+
+let v_and a b =
+  match a, b with
+  | V0, _ | _, V0 -> V0
+  | V1, V1 -> V1
+  | (V1 | Vx), (V1 | Vx) -> Vx
+
+let v_or a b =
+  match a, b with
+  | V1, _ | _, V1 -> V1
+  | V0, V0 -> V0
+  | (V0 | Vx), (V0 | Vx) -> Vx
+
+let v_xor a b =
+  match a, b with
+  | Vx, _ | _, Vx -> Vx
+  | V0, V0 | V1, V1 -> V0
+  | V0, V1 | V1, V0 -> V1
+
+let v_xnor a b = v_not (v_xor a b)
+
+(* y = s ? b : a, with X select resolving only when both branches agree. *)
+let v_mux ~a ~b ~s =
+  match s with
+  | V0 -> a
+  | V1 -> b
+  | Vx -> if equal a b then a else Vx
+
+let pp ppf = function
+  | V0 -> Fmt.string ppf "0"
+  | V1 -> Fmt.string ppf "1"
+  | Vx -> Fmt.string ppf "x"

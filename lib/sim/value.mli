@@ -1,0 +1,18 @@
+(** Three-valued logic values. *)
+
+type t = V0 | V1 | Vx
+
+val of_bool : bool -> t
+val to_bool : t -> bool option
+val equal : t -> t -> bool
+
+val v_not : t -> t
+val v_and : t -> t -> t
+val v_or : t -> t -> t
+val v_xor : t -> t -> t
+val v_xnor : t -> t -> t
+
+val v_mux : a:t -> b:t -> s:t -> t
+(** [y = s ? b : a]; an X select resolves only when both branches agree. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,301 @@
+(* Named workload profiles standing in for the paper's benchmark circuits.
+
+   Each profile mixes the RTL idioms of {!Vgen} in proportions chosen to
+   reproduce the published *character* of the corresponding circuit:
+   - rebuild-friendly: many case statements with few distinct leaves
+   - SAT-friendly: correlated control conditions Yosys cannot relate
+   - baseline-friendly: redundant same-condition nesting Yosys removes
+   - flat: plain datapath logic no muxtree pass can improve
+
+   The generators are deterministic in the seed; the circuit is produced
+   through the full Verilog frontend. *)
+
+type block =
+  | Pipeline_stage of { width : int }
+  | Case of { sel_width : int; items : int; width : int; distinct : int }
+  | Random_case of { sel_width : int; items : int; width : int; distinct : int }
+  | Foldable of { width : int }
+  | Casez_priority of { sel_width : int; width : int }
+  | Correlated_ifs of { depth : int; width : int }
+  | Redundant_nest of { width : int }
+  | Priority_chain of { depth : int; width : int }
+  | Crossbar_port of { n_grants : int; width : int }
+  | Datapath of { width : int; ops : int }
+
+type profile = {
+  name : string;
+  seed : int;
+  style : Hdl.Elaborate.case_style;
+  repeat : int; (* how many copies of the block mix *)
+  mix : block list;
+  register_fraction : int; (* % of cells later staged behind dffs *)
+}
+
+let emit_block ctx = function
+  | Pipeline_stage { width } -> Vgen.emit_pipeline_stage ctx ~width
+  | Case { sel_width; items; width; distinct } ->
+    Vgen.emit_case ctx ~sel_width ~items ~width ~distinct ()
+  | Random_case { sel_width; items; width; distinct } ->
+    Vgen.emit_case ctx ~sel_width ~items ~width ~distinct ~structured:false ()
+  | Foldable { width } -> Vgen.emit_foldable ctx ~width
+  | Casez_priority { sel_width; width } ->
+    Vgen.emit_casez_priority ctx ~sel_width ~width
+  | Correlated_ifs { depth; width } ->
+    Vgen.emit_correlated_ifs ctx ~depth ~width
+  | Redundant_nest { width } -> Vgen.emit_redundant_nest ctx ~width
+  | Priority_chain { depth; width } ->
+    Vgen.emit_priority_chain ctx ~depth ~width
+  | Crossbar_port { n_grants; width } ->
+    Vgen.emit_crossbar_port ctx ~n_grants ~width
+  | Datapath { width; ops } -> Vgen.emit_datapath ctx ~width ~ops
+
+let source (p : profile) : string =
+  let ctx = Vgen.create ~seed:p.seed in
+  (* a few seed inputs so the first blocks have material *)
+  for _ = 1 to 6 do
+    ignore (Vgen.add_input ctx (Rng.range ctx.Vgen.rng 4 16))
+  done;
+  for _ = 1 to p.repeat do
+    List.iter (emit_block ctx) (Rng.shuffle ctx.Vgen.rng p.mix)
+  done;
+  Vgen.render ctx ~name:p.name ~outputs:(2 + (p.repeat / 4))
+
+let circuit (p : profile) : Netlist.Circuit.t =
+  let c = Hdl.Elaborate.elaborate_string ~style:p.style (source p) in
+  if p.register_fraction > 0 then
+    Seqify.insert_registers c ~seed:(p.seed + 77)
+      ~percent:p.register_fraction;
+  c
+
+(* --- the ten public benchmarks (IWLS-2005 + RISC-V stand-ins) --- *)
+
+let top_cache_axi =
+  {
+    name = "top_cache_axi";
+    seed = 101;
+    style = `Chain;
+    repeat = 26;
+    mix =
+      [
+        Case { sel_width = 5; items = 28; width = 16; distinct = 6 };
+        Case { sel_width = 4; items = 14; width = 12; distinct = 4 };
+        Random_case { sel_width = 4; items = 14; width = 8; distinct = 8 };
+        Case { sel_width = 6; items = 48; width = 8; distinct = 7 };
+        Redundant_nest { width = 12 };
+        Foldable { width = 16 };
+        Foldable { width = 8 };
+        Datapath { width = 16; ops = 5 };
+        Datapath { width = 12; ops = 5 };
+        Priority_chain { depth = 4; width = 12 };
+      ];
+    register_fraction = 6;
+  }
+
+let pci_bridge32 =
+  {
+    name = "pci_bridge32";
+    seed = 102;
+    style = `Chain;
+    repeat = 10;
+    mix =
+      [
+        Case { sel_width = 4; items = 12; width = 8; distinct = 7 };
+        Correlated_ifs { depth = 2; width = 8 };
+        Redundant_nest { width = 8 };
+        Foldable { width = 8 };
+        Priority_chain { depth = 5; width = 8 };
+        Datapath { width = 8; ops = 6 };
+        Datapath { width = 8; ops = 6 };
+      ];
+    register_fraction = 8;
+  }
+
+let wb_conmax =
+  {
+    name = "wb_conmax";
+    seed = 103;
+    style = `Chain;
+    repeat = 12;
+    mix =
+      [
+        Crossbar_port { n_grants = 8; width = 16 };
+        Correlated_ifs { depth = 3; width = 16 };
+        Correlated_ifs { depth = 4; width = 8 };
+        Redundant_nest { width = 16 };
+        Foldable { width = 16 };
+        Datapath { width = 16; ops = 6 };
+        Random_case { sel_width = 3; items = 7; width = 16; distinct = 6 };
+      ];
+    register_fraction = 5;
+  }
+
+let mem_ctrl =
+  {
+    name = "mem_ctrl";
+    seed = 104;
+    style = `Chain;
+    repeat = 14;
+    mix =
+      [
+        Priority_chain { depth = 6; width = 12 };
+        Datapath { width = 12; ops = 8 };
+        Datapath { width = 8; ops = 7 };
+        Datapath { width = 12; ops = 6 };
+        Redundant_nest { width = 12 };
+        Foldable { width = 12 };
+        Priority_chain { depth = 4; width = 8 };
+      ];
+    register_fraction = 10;
+  }
+
+let wb_dma =
+  {
+    name = "wb_dma";
+    seed = 105;
+    style = `Chain;
+    repeat = 12;
+    mix =
+      [
+        Correlated_ifs { depth = 3; width = 12 };
+        Crossbar_port { n_grants = 4; width = 12 };
+        Redundant_nest { width = 12 };
+        Foldable { width = 12 };
+        Datapath { width = 12; ops = 7 };
+        Datapath { width = 8; ops = 6 };
+        Priority_chain { depth = 4; width = 12 };
+      ];
+    register_fraction = 6;
+  }
+
+let tv80 =
+  {
+    name = "tv80";
+    seed = 106;
+    style = `Chain;
+    repeat = 12;
+    mix =
+      [
+        Datapath { width = 8; ops = 6 };
+        Datapath { width = 8; ops = 6 };
+        Priority_chain { depth = 5; width = 8 };
+        Random_case { sel_width = 3; items = 6; width = 8; distinct = 6 };
+        Redundant_nest { width = 8 };
+        Foldable { width = 8 };
+        Correlated_ifs { depth = 2; width = 8 };
+      ];
+    register_fraction = 10;
+  }
+
+let usb_funct =
+  {
+    name = "usb_funct";
+    seed = 107;
+    style = `Chain;
+    repeat = 10;
+    mix =
+      [
+        Case { sel_width = 4; items = 12; width = 8; distinct = 9 };
+        Correlated_ifs { depth = 2; width = 8 };
+        Datapath { width = 8; ops = 6 };
+        Datapath { width = 8; ops = 5 };
+        Redundant_nest { width = 8 };
+        Foldable { width = 8 };
+        Priority_chain { depth = 3; width = 8 };
+      ];
+    register_fraction = 8;
+  }
+
+let ethernet =
+  {
+    name = "ethernet";
+    seed = 108;
+    style = `Chain;
+    repeat = 16;
+    mix =
+      [
+        Datapath { width = 16; ops = 7 };
+        Datapath { width = 8; ops = 5 };
+        Datapath { width = 16; ops = 6 };
+        Priority_chain { depth = 4; width = 16 };
+        Random_case { sel_width = 2; items = 4; width = 16; distinct = 4 };
+        Redundant_nest { width = 16 };
+        Foldable { width = 16 };
+      ];
+    register_fraction = 12;
+  }
+
+let riscv =
+  {
+    name = "riscv";
+    seed = 109;
+    style = `Chain;
+    repeat = 12;
+    mix =
+      [
+        Case { sel_width = 5; items = 24; width = 16; distinct = 14 };
+        Casez_priority { sel_width = 4; width = 16 };
+        Datapath { width = 16; ops = 6 };
+        Datapath { width = 16; ops = 6 };
+        Datapath { width = 12; ops = 5 };
+        Redundant_nest { width = 16 };
+        Foldable { width = 16 };
+        Priority_chain { depth = 4; width = 16 };
+      ];
+    register_fraction = 8;
+  }
+
+let ac97_ctrl =
+  {
+    name = "ac97_ctrl";
+    seed = 110;
+    style = `Chain;
+    repeat = 8;
+    mix =
+      [
+        Case { sel_width = 4; items = 11; width = 8; distinct = 7 };
+        Random_case { sel_width = 3; items = 6; width = 8; distinct = 5 };
+        Datapath { width = 8; ops = 5 };
+        Datapath { width = 8; ops = 4 };
+        Redundant_nest { width = 8 };
+        Foldable { width = 8 };
+      ];
+    register_fraction = 8;
+  }
+
+let public_benchmarks =
+  [
+    top_cache_axi; pci_bridge32; wb_conmax; mem_ctrl; wb_dma; tv80;
+    usb_funct; ethernet; riscv; ac97_ctrl;
+  ]
+
+(* --- the industrial benchmark (Section IV-B) ---
+
+   Higher proportion of MUX/PMUX "selection circuits", elaborated with the
+   pmux style, with few distinct leaves and heavily correlated controls;
+   Yosys finds almost nothing here. *)
+
+let industrial_point i =
+  {
+    name = Printf.sprintf "ind_%02d" i;
+    seed = 9000 + (i * 13);
+    style = `Pmux;
+    repeat = 7 + (i mod 4);
+    mix =
+      [
+        Case { sel_width = 5; items = 30; width = 16; distinct = 4 };
+        Case { sel_width = 6; items = 52; width = 12; distinct = 5 };
+        Case { sel_width = 4; items = 15; width = 20; distinct = 3 };
+        Correlated_ifs { depth = 4; width = 16 };
+        Correlated_ifs { depth = 3; width = 12 };
+        Crossbar_port { n_grants = 8; width = 16 };
+        Datapath { width = 16; ops = 2 };
+      ];
+    register_fraction = 5;
+  }
+
+let industrial_benchmarks = List.init 8 industrial_point
+
+let by_name name =
+  List.find_opt
+    (fun p -> p.name = name)
+    (public_benchmarks @ industrial_benchmarks)

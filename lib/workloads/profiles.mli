@@ -1,0 +1,58 @@
+(** Named workload profiles standing in for the paper's benchmarks.
+
+    Each profile mixes RTL idioms in proportions chosen to reproduce the
+    published character of the corresponding circuit; generation is
+    deterministic in the seed and goes through the full Verilog frontend.
+    See DESIGN.md for the substitution rationale. *)
+
+type block =
+  | Pipeline_stage of { width : int }
+      (** a clocked register stage, inferred through always @(posedge) *)
+  | Case of { sel_width : int; items : int; width : int; distinct : int }
+      (** a structured case: contiguous selector ranges share leaves *)
+  | Random_case of { sel_width : int; items : int; width : int; distinct : int }
+      (** unstructured leaf mapping: little for the restructuring pass *)
+  | Foldable of { width : int }  (** constant-foldable logic for the baseline *)
+  | Casez_priority of { sel_width : int; width : int }
+  | Correlated_ifs of { depth : int; width : int }
+      (** nested ifs with logically dependent conditions: SAT territory *)
+  | Redundant_nest of { width : int }
+      (** same-condition nesting: the baseline removes these (Fig. 1) *)
+  | Priority_chain of { depth : int; width : int }
+      (** independent conditions: neither optimizer helps *)
+  | Crossbar_port of { n_grants : int; width : int }
+  | Datapath of { width : int; ops : int }
+
+type profile = {
+  name : string;
+  seed : int;
+  style : Hdl.Elaborate.case_style;
+  repeat : int;
+  mix : block list;
+  register_fraction : int;  (** % of datapath cells staged behind dffs *)
+}
+
+val source : profile -> string
+(** The generated Verilog text. *)
+
+val circuit : profile -> Netlist.Circuit.t
+(** Elaborated (and register-staged) netlist. *)
+
+val top_cache_axi : profile
+val pci_bridge32 : profile
+val wb_conmax : profile
+val mem_ctrl : profile
+val wb_dma : profile
+val tv80 : profile
+val usb_funct : profile
+val ethernet : profile
+val riscv : profile
+val ac97_ctrl : profile
+
+val public_benchmarks : profile list
+(** The ten IWLS-2005 / RISC-V stand-ins, Table II order. *)
+
+val industrial_benchmarks : profile list
+(** Eight mux/pmux-rich test points (Section IV-B). *)
+
+val by_name : string -> profile option

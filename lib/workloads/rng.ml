@@ -1,0 +1,41 @@
+(* Deterministic splitmix-style RNG so every benchmark run regenerates the
+   exact same circuits. *)
+
+type t = { mutable state : int }
+
+let create ~seed = { state = seed lxor 0x1234567 }
+
+let next (t : t) =
+  t.state <- t.state + 0x1E3779B97F4A7C15;
+  let z = ref t.state in
+  z := (!z lxor (!z lsr 30)) * 0x3F58476D1CE4E5B9;
+  z := (!z lxor (!z lsr 27)) * 0x14D049BB133111EB;
+  let v = !z lxor (!z lsr 31) in
+  v land max_int
+
+(* uniform in [0, bound) *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  next t mod bound
+
+(* uniform in [lo, hi] inclusive *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range";
+  lo + int t (hi - lo + 1)
+
+let bool t = next t land 1 = 1
+
+(* true with probability pct/100 *)
+let chance t pct = int t 100 < pct
+
+let choice t (l : 'a list) =
+  match l with
+  | [] -> invalid_arg "Rng.choice"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t l =
+  let tagged = List.map (fun x -> next t, x) l in
+  List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) tagged)
+
+(* pick [n] distinct elements *)
+let sample t n l = List.filteri (fun i _ -> i < n) (shuffle t l)

@@ -1,0 +1,24 @@
+(** Deterministic splitmix-style RNG: identical seeds regenerate identical
+    circuits on every run. *)
+
+type t
+
+val create : seed:int -> t
+
+val next : t -> int
+(** A non-negative pseudo-random int. *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound). @raise Invalid_argument when bound <= 0. *)
+
+val range : t -> int -> int -> int
+(** Uniform in [lo, hi], inclusive. *)
+
+val bool : t -> bool
+
+val chance : t -> int -> bool
+(** True with probability pct/100. *)
+
+val choice : t -> 'a list -> 'a
+val shuffle : t -> 'a list -> 'a list
+val sample : t -> int -> 'a list -> 'a list

@@ -1,0 +1,5 @@
+(** Insert flip-flop stages behind a fraction of datapath cells, making the
+    generated circuits sequential.  Muxtree and select cells are never
+    staged (real RTL registers tree outputs, not tree internals). *)
+
+val insert_registers : Netlist.Circuit.t -> seed:int -> percent:int -> unit

@@ -1,0 +1,384 @@
+(* Synthetic RTL generation: emits Verilog source (exercising the full HDL
+   frontend) composed of the idioms the paper's benchmarks are made of.
+
+   Each emitter appends one named block to the module and registers the
+   produced signal in the pool, so later blocks can consume earlier
+   results, giving the circuits real depth. *)
+
+type ctx = {
+  rng : Rng.t;
+  header : Buffer.t; (* declarations *)
+  body : Buffer.t; (* assigns and always blocks *)
+  mutable pool : (string * int) list; (* signal name, width *)
+  mutable conds : string list; (* 1-bit condition signals for correlation *)
+  mutable n : int; (* name counter *)
+  mutable inputs : (string * int) list;
+  mutable produced : (string * int) list; (* signals to sink into outputs *)
+}
+
+let create ~seed =
+  {
+    rng = Rng.create ~seed;
+    header = Buffer.create 1024;
+    body = Buffer.create 4096;
+    pool = [];
+    conds = [];
+    n = 0;
+    inputs = [];
+    produced = [];
+  }
+
+let fresh ctx prefix =
+  ctx.n <- ctx.n + 1;
+  Printf.sprintf "%s%d" prefix ctx.n
+
+let decl ctx text = Buffer.add_string ctx.header ("  " ^ text ^ "\n")
+let emit ctx text = Buffer.add_string ctx.body ("  " ^ text ^ "\n")
+
+let range_str width = if width = 1 then "" else Printf.sprintf "[%d:0] " (width - 1)
+
+let add_input ctx ?name width =
+  let name = match name with Some n -> n | None -> fresh ctx "in" in
+  decl ctx (Printf.sprintf "input %s%s;" (range_str width) name);
+  ctx.pool <- (name, width) :: ctx.pool;
+  ctx.inputs <- (name, width) :: ctx.inputs;
+  name
+
+let add_wire ctx ?name width =
+  let name = match name with Some n -> n | None -> fresh ctx "w" in
+  decl ctx (Printf.sprintf "wire %s%s;" (range_str width) name);
+  name
+
+let add_reg ctx ?name width =
+  let name = match name with Some n -> n | None -> fresh ctx "r" in
+  decl ctx (Printf.sprintf "reg %s%s;" (range_str width) name);
+  name
+
+(* register a signal as available for later blocks and as a sink candidate *)
+let produce ctx name width =
+  ctx.pool <- (name, width) :: ctx.pool;
+  ctx.produced <- (name, width) :: ctx.produced
+
+(* --- expression pieces --- *)
+
+(* a signal of exactly [width] bits, slicing a wider pool signal *)
+let signal_of_width ctx width =
+  let candidates = List.filter (fun (_, w) -> w >= width) ctx.pool in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let name, w = Rng.choice ctx.rng candidates in
+    if w = width then Some name
+    else begin
+      let lsb = Rng.int ctx.rng (w - width + 1) in
+      if width = 1 then Some (Printf.sprintf "%s[%d]" name lsb)
+      else Some (Printf.sprintf "%s[%d:%d]" name (lsb + width - 1) lsb)
+    end
+
+let leaf ctx width =
+  match signal_of_width ctx width with
+  | Some s -> s
+  | None -> Printf.sprintf "%d'd%d" width (Rng.int ctx.rng (1 lsl min width 20))
+
+(* random leaf expression, sometimes a constant *)
+let leaf_or_const ctx width =
+  if Rng.chance ctx.rng 15 then
+    Printf.sprintf "%d'd%d" width (Rng.int ctx.rng (1 lsl min width 20))
+  else leaf ctx width
+
+(* a fresh 1-bit condition; [independent] draws it over a brand new input
+   (no accidental correlation with existing signals) *)
+let new_cond ?(independent = false) ctx =
+  let w = Rng.range ctx.rng 2 6 in
+  let a = if independent then add_input ctx w else leaf ctx w in
+  let expr =
+    match Rng.int ctx.rng 4 with
+    | 0 -> Printf.sprintf "(%s == %d'd%d)" a w (Rng.int ctx.rng (1 lsl min w 20))
+    | 1 -> Printf.sprintf "(|%s)" a
+    | 2 -> Printf.sprintf "(&%s)" a
+    | _ -> Printf.sprintf "(%s != %d'd%d)" a w (Rng.int ctx.rng (1 lsl min w 20))
+  in
+  let name = add_wire ctx 1 in
+  emit ctx (Printf.sprintf "assign %s = %s;" name expr);
+  ctx.pool <- (name, 1) :: ctx.pool;
+  ctx.conds <- name :: ctx.conds;
+  name
+
+(* an existing condition, or a fresh one *)
+let some_cond ctx =
+  if ctx.conds <> [] && Rng.chance ctx.rng 70 then Rng.choice ctx.rng ctx.conds
+  else new_cond ctx
+
+(* a condition *correlated* with [base]: implied or contradicted by it *)
+let correlated_cond ctx base =
+  let other = some_cond ctx in
+  let expr =
+    match Rng.int ctx.rng 4 with
+    | 0 -> Printf.sprintf "(%s | %s)" base other (* implied when base=1 *)
+    | 1 -> Printf.sprintf "(%s & %s)" base other (* false when base=0 *)
+    | 2 -> Printf.sprintf "(!%s)" base (* contradicted *)
+    | _ -> Printf.sprintf "(%s | !%s)" base other
+  in
+  let name = add_wire ctx 1 in
+  emit ctx (Printf.sprintf "assign %s = %s;" name expr);
+  ctx.pool <- (name, 1) :: ctx.pool;
+  name
+
+(* --- idiom emitters --- *)
+
+(* Plain datapath logic: a short chain of bitwise/arith assigns. *)
+let emit_datapath ctx ~width ~ops =
+  let current = ref (leaf ctx width) in
+  for _ = 1 to ops do
+    let other = leaf_or_const ctx width in
+    let op = Rng.choice ctx.rng [ "&"; "|"; "^"; "+"; "-" ] in
+    let name = add_wire ctx width in
+    emit ctx (Printf.sprintf "assign %s = %s %s %s;" name !current op other);
+    ctx.pool <- (name, width) :: ctx.pool;
+    current := name
+  done;
+  produce ctx !current width
+
+(* A case statement over a fresh selector input.  [distinct] bounds the
+   number of distinct leaf expressions, so low values create muxtrees the
+   restructuring pass collapses.  [structured] maps contiguous selector
+   ranges to the same leaf (the block structure of real decoders, which is
+   what makes the rebuilt ADD small); otherwise leaves are random. *)
+let emit_case ctx ~sel_width ~items ~width ~distinct ?(structured = true) () =
+  let sel = add_input ctx sel_width in
+  let y = add_reg ctx width in
+  let n_leaves = max 1 distinct in
+  let leaves = List.init n_leaves (fun _ -> leaf_or_const ctx width) in
+  let space = 1 lsl sel_width in
+  let used =
+    Rng.sample ctx.rng (min items space) (List.init space (fun i -> i))
+    |> List.sort compare
+  in
+  let leaf_for v =
+    if structured && not (Rng.chance ctx.rng 20) then
+      List.nth leaves (v * n_leaves / space)
+    else Rng.choice ctx.rng leaves
+  in
+  emit ctx "always @* begin";
+  emit ctx (Printf.sprintf "  case (%s)" sel);
+  List.iter
+    (fun v ->
+      emit ctx
+        (Printf.sprintf "    %d'd%d: %s = %s;" sel_width v y (leaf_for v)))
+    used;
+  emit ctx
+    (Printf.sprintf "    default: %s = %s;" y (Rng.choice ctx.rng leaves));
+  emit ctx "  endcase";
+  emit ctx "end";
+  produce ctx y width
+
+(* Logic that the baseline folds away entirely: constant operands, dead
+   branches, shadowed conditions.  This is the (large) share of the paper's
+   "Yosys removes 55% on its own". *)
+let emit_foldable ctx ~width =
+  let a = leaf ctx width in
+  let b = leaf ctx width in
+  let t1 = add_wire ctx width in
+  emit ctx
+    (Printf.sprintf "assign %s = (%s & %d'd0) | %s;" t1 a width b);
+  ctx.pool <- (t1, width) :: ctx.pool;
+  let c = some_cond ctx in
+  let y = add_reg ctx width in
+  let v1 = leaf_or_const ctx width and v2 = leaf_or_const ctx width in
+  emit ctx "always @* begin";
+  emit ctx (Printf.sprintf "  %s = %s;" y v1);
+  (* condition c & !c is statically false: the whole branch is dead *)
+  emit ctx (Printf.sprintf "  if (%s & !%s) %s = %s ^ %s;" c c y v2 t1);
+  emit ctx (Printf.sprintf "  if (%s | !%s) %s = %s;" c c y t1);
+  emit ctx "end";
+  produce ctx y width
+
+(* A casez priority decoder (Listing-2 style). *)
+let emit_casez_priority ctx ~sel_width ~width =
+  let sel = add_input ctx sel_width in
+  let y = add_reg ctx width in
+  emit ctx "always @* begin";
+  emit ctx (Printf.sprintf "  casez (%s)" sel);
+  for i = 0 to sel_width - 1 do
+    (* pattern: 0...01z...z  (bit sel_width-1-i set) *)
+    let pat =
+      String.concat ""
+        (List.init sel_width (fun j ->
+             if j < i then "0" else if j = i then "1" else "z"))
+    in
+    emit ctx
+      (Printf.sprintf "    %d'b%s: %s = %s;" sel_width pat y
+         (leaf_or_const ctx width))
+  done;
+  emit ctx (Printf.sprintf "    default: %s = %s;" y (leaf_or_const ctx width));
+  emit ctx "  endcase";
+  emit ctx "end";
+  produce ctx y width
+
+(* Nested ifs with correlated conditions: smaRTLy's SAT elimination finds
+   the inner branches forced; Yosys cannot (conditions differ textually). *)
+let emit_correlated_ifs ctx ~depth ~width =
+  let y = add_reg ctx width in
+  (* conditions are built (and their assigns emitted) before the always
+     block opens *)
+  let base = some_cond ctx in
+  let conds =
+    let rec build prev n acc =
+      if n = 0 then List.rev acc
+      else
+        let c = correlated_cond ctx prev in
+        build c (n - 1) (c :: acc)
+    in
+    build base depth []
+  in
+  emit ctx "always @* begin";
+  emit ctx (Printf.sprintf "  %s = %s;" y (leaf_or_const ctx width));
+  emit ctx (Printf.sprintf "  if (%s) begin" base);
+  let rec nest cs indent =
+    match cs with
+    | [] ->
+      emit ctx
+        (Printf.sprintf "%s%s = %s;" indent y (leaf_or_const ctx width))
+    | cond :: rest ->
+      emit ctx (Printf.sprintf "%sif (%s) begin" indent cond);
+      nest rest (indent ^ "  ");
+      emit ctx (Printf.sprintf "%send else begin" indent);
+      emit ctx
+        (Printf.sprintf "%s  %s = %s;" indent y (leaf_or_const ctx width));
+      emit ctx (Printf.sprintf "%send" indent)
+  in
+  nest conds "    ";
+  emit ctx "  end";
+  emit ctx "end";
+  produce ctx y width
+
+(* Redundant nesting on the *same* condition (Fig. 1 style): Yosys catches
+   these, so they account for the baseline's own large reductions. *)
+let emit_redundant_nest ctx ~width =
+  let y = add_reg ctx width in
+  let c = new_cond ~independent:true ctx in
+  let v1 = leaf_or_const ctx width in
+  let v2 = leaf_or_const ctx width in
+  let v3 = leaf_or_const ctx width in
+  let v4 = leaf_or_const ctx width in
+  emit ctx "always @* begin";
+  emit ctx (Printf.sprintf "  if (%s) begin" c);
+  emit ctx (Printf.sprintf "    if (%s) %s = %s; else %s = %s;" c y v1 y v2);
+  emit ctx (Printf.sprintf "  end else begin");
+  emit ctx (Printf.sprintf "    if (%s) %s = %s; else %s = %s;" c y v3 y v4);
+  emit ctx "  end";
+  emit ctx "end";
+  produce ctx y width
+
+(* An if/else-if priority chain over independent conditions: muxtree with
+   unrelated controls; little for either optimizer (mem_ctrl-like). *)
+let emit_priority_chain ctx ~depth ~width =
+  let y = add_reg ctx width in
+  let conds = List.init depth (fun _ -> new_cond ~independent:true ctx) in
+  emit ctx "always @* begin";
+  emit ctx (Printf.sprintf "  %s = %s;" y (leaf_or_const ctx width));
+  List.iter
+    (fun c ->
+      emit ctx
+        (Printf.sprintf "  if (%s) %s = %s;" c y (leaf_or_const ctx width)))
+    conds;
+  emit ctx "end";
+  produce ctx y width
+
+(* A crossbar-ish selector: for each output, a case over a grant selector
+   whose value correlates with per-port request conditions (wb_conmax
+   flavour: SAT finds the redundancies). *)
+let emit_crossbar_port ctx ~n_grants ~width =
+  let sel_width =
+    let rec bits n = if n <= 1 then 0 else 1 + bits ((n + 1) / 2) in
+    max 1 (bits n_grants)
+  in
+  let reqs = List.init n_grants (fun _ -> some_cond ctx) in
+  (* grant encoder: priority over requests *)
+  let gsel = add_reg ctx sel_width in
+  emit ctx "always @* begin";
+  emit ctx (Printf.sprintf "  %s = %d'd%d;" gsel sel_width 0);
+  List.iteri
+    (fun i r ->
+      emit ctx
+        (Printf.sprintf "  if (%s) %s = %d'd%d;" r gsel sel_width
+           (n_grants - 1 - i)))
+    reqs;
+  emit ctx "end";
+  ctx.pool <- (gsel, sel_width) :: ctx.pool;
+  (* data select: case over the grant, with per-branch refinement muxes on
+     the very request conditions (correlated with the selector value) *)
+  let y = add_reg ctx width in
+  emit ctx "always @* begin";
+  emit ctx (Printf.sprintf "  case (%s)" gsel);
+  List.iteri
+    (fun i r ->
+      let v1 = leaf_or_const ctx width and v2 = leaf_or_const ctx width in
+      emit ctx
+        (Printf.sprintf "    %d'd%d: %s = %s ? %s : %s;" sel_width
+           (n_grants - 1 - i) y r v1 v2))
+    reqs;
+  emit ctx (Printf.sprintf "    default: %s = %s;" y (leaf_or_const ctx width));
+  emit ctx "  endcase";
+  emit ctx "end";
+  produce ctx y width
+
+(* A clocked pipeline stage: registers an existing signal through
+   always @(posedge clk), optionally with an enable.  Gives the generated
+   circuits real inferred flip-flops (beyond the netlist-level staging of
+   {!Seqify}). *)
+let emit_pipeline_stage ctx ~width =
+  (* one shared clock input *)
+  let clk =
+    match List.assoc_opt "clk" ctx.inputs with
+    | Some _ -> "clk"
+    | None -> add_input ctx ~name:"clk" 1
+  in
+  let d = leaf ctx width in
+  let q = add_reg ctx width in
+  if Rng.chance ctx.rng 50 then begin
+    let en = some_cond ctx in
+    emit ctx (Printf.sprintf "always @(posedge %s) begin" clk);
+    emit ctx (Printf.sprintf "  if (%s) %s <= %s;" en q d);
+    emit ctx "end"
+  end
+  else emit ctx (Printf.sprintf "always @(posedge %s) %s <= %s;" clk q d);
+  produce ctx q width
+
+(* --- finalization --- *)
+
+(* Sink every produced signal into xor-compressed outputs so nothing is
+   dead, then render the module. *)
+let render ctx ~name ~outputs =
+  let produced = List.rev ctx.produced in
+  let groups =
+    (* deal produced signals round-robin over [outputs] sinks *)
+    let arr = Array.make (max 1 outputs) [] in
+    List.iteri
+      (fun i sw -> arr.(i mod Array.length arr) <- sw :: arr.(i mod Array.length arr))
+      produced;
+    Array.to_list arr |> List.filter (( <> ) [])
+  in
+  let out_decls = Buffer.create 256 in
+  let out_body = Buffer.create 256 in
+  List.iteri
+    (fun i group ->
+      let width = List.fold_left (fun acc (_, w) -> max acc w) 1 group in
+      let oname = Printf.sprintf "out%d" i in
+      Buffer.add_string out_decls
+        (Printf.sprintf "  output %s%s;\n" (range_str width) oname);
+      let expr =
+        String.concat " ^ "
+          (List.map
+             (fun (n, w) ->
+               if w = width then n else Printf.sprintf "{%d'd0, %s}" (width - w) n)
+             group)
+      in
+      Buffer.add_string out_body
+        (Printf.sprintf "  assign %s = %s;\n" oname expr))
+    groups;
+  Printf.sprintf "module %s;\n%s%s\n%s%s\nendmodule\n" name
+    (Buffer.contents ctx.header)
+    (Buffer.contents out_decls)
+    (Buffer.contents ctx.body)
+    (Buffer.contents out_body)

@@ -1,0 +1,64 @@
+(** Synthetic RTL generation: emits Verilog source for the idioms the
+    paper's benchmarks are made of.  Every emitter appends a block and
+    registers its result signal, so later blocks consume earlier results
+    and the circuits gain real depth. *)
+
+type ctx = {
+  rng : Rng.t;
+  header : Buffer.t;
+  body : Buffer.t;
+  mutable pool : (string * int) list;  (** available signals: name, width *)
+  mutable conds : string list;  (** 1-bit signals reused for correlation *)
+  mutable n : int;
+  mutable inputs : (string * int) list;
+  mutable produced : (string * int) list;  (** sunk into outputs at render *)
+}
+
+val create : seed:int -> ctx
+
+val add_input : ctx -> ?name:string -> int -> string
+val add_wire : ctx -> ?name:string -> int -> string
+val add_reg : ctx -> ?name:string -> int -> string
+
+val emit_datapath : ctx -> width:int -> ops:int -> unit
+(** A chain of bitwise / arithmetic assigns. *)
+
+val emit_case :
+  ctx ->
+  sel_width:int ->
+  items:int ->
+  width:int ->
+  distinct:int ->
+  ?structured:bool ->
+  unit ->
+  unit
+(** A case statement over a fresh selector.  [distinct] bounds the leaf
+    expressions; [structured] (default) maps contiguous selector ranges to
+    the same leaf — the block structure that makes rebuilt ADDs small. *)
+
+val emit_foldable : ctx -> width:int -> unit
+(** Logic the baseline folds away (constant operands, dead branches). *)
+
+val emit_casez_priority : ctx -> sel_width:int -> width:int -> unit
+(** A Listing-2-style wildcard priority decoder. *)
+
+val emit_correlated_ifs : ctx -> depth:int -> width:int -> unit
+(** Nested ifs whose conditions imply or contradict each other: the
+    SAT-elimination workload. *)
+
+val emit_redundant_nest : ctx -> width:int -> unit
+(** Same-condition nesting (paper Fig. 1): baseline territory. *)
+
+val emit_priority_chain : ctx -> depth:int -> width:int -> unit
+(** Independent fresh-input conditions: neither optimizer helps. *)
+
+val emit_crossbar_port : ctx -> n_grants:int -> width:int -> unit
+(** A grant encoder plus a data select whose branch logic re-tests the
+    request conditions the grant came from (wb_conmax flavour). *)
+
+val emit_pipeline_stage : ctx -> width:int -> unit
+(** A clocked register stage (inferred dff), optionally with an enable. *)
+
+val render : ctx -> name:string -> outputs:int -> string
+(** Sink every produced signal into xor-compressed outputs (so nothing is
+    dead) and return the module text. *)

@@ -1,0 +1,136 @@
+(* Tests for the equivalence checker itself: positives, negatives,
+   sequential boundaries, port mismatches, and a property against random
+   mutations. *)
+
+open Netlist
+
+let check_bool = Alcotest.(check bool)
+
+let expose c name (v : Bits.sigspec) =
+  let y = Circuit.add_output c name ~width:(Bits.width v) in
+  ignore
+    (Circuit.add_cell c
+       (Cell.Binary
+          { op = Cell.Or; a = v; b = Bits.all_zero ~width:(Bits.width v);
+            y = Circuit.sig_of_wire y }))
+
+(* xor-swap identity: (a^b, a^(a^b)) computes (a^b, b) *)
+let test_structural_vs_rewritten () =
+  let c1 = Circuit.create "m" in
+  let a = Circuit.add_input c1 "a" ~width:8 in
+  let b = Circuit.add_input c1 "b" ~width:8 in
+  let x = Circuit.mk_binary c1 Cell.Xor (Circuit.sig_of_wire a) (Circuit.sig_of_wire b) in
+  let y = Circuit.mk_binary c1 Cell.Xor (Circuit.sig_of_wire a) x in
+  expose c1 "o" y;
+  let c2 = Circuit.create "m" in
+  let _a = Circuit.add_input c2 "a" ~width:8 in
+  let b2 = Circuit.add_input c2 "b" ~width:8 in
+  expose c2 "o" (Circuit.sig_of_wire b2);
+  check_bool "a^(a^b) = b" true (Equiv.is_equivalent c1 c2)
+
+let test_add_commutes () =
+  let mk swap =
+    let c = Circuit.create "m" in
+    let a = Circuit.add_input c "a" ~width:6 in
+    let b = Circuit.add_input c "b" ~width:6 in
+    let sa = Circuit.sig_of_wire a and sb = Circuit.sig_of_wire b in
+    let s =
+      if swap then Circuit.mk_binary c Cell.Add sb sa
+      else Circuit.mk_binary c Cell.Add sa sb
+    in
+    expose c "o" s;
+    c
+  in
+  check_bool "a+b = b+a" true (Equiv.is_equivalent (mk false) (mk true))
+
+let test_sub_not_commutative () =
+  let mk swap =
+    let c = Circuit.create "m" in
+    let a = Circuit.add_input c "a" ~width:6 in
+    let b = Circuit.add_input c "b" ~width:6 in
+    let sa = Circuit.sig_of_wire a and sb = Circuit.sig_of_wire b in
+    let s =
+      if swap then Circuit.mk_binary c Cell.Sub sb sa
+      else Circuit.mk_binary c Cell.Sub sa sb
+    in
+    expose c "o" s;
+    c
+  in
+  (match Equiv.check (mk false) (mk true) with
+  | Equiv.Not_equivalent _ -> ()
+  | Equiv.Equivalent | Equiv.Inconclusive ->
+    Alcotest.fail "a-b should differ from b-a")
+
+let test_missing_output_detected () =
+  let c1 = Circuit.create "m" in
+  let a = Circuit.add_input c1 "a" ~width:2 in
+  expose c1 "o1" (Circuit.sig_of_wire a);
+  let c2 = Circuit.create "m" in
+  let a2 = Circuit.add_input c2 "a" ~width:2 in
+  expose c2 "o2" (Circuit.sig_of_wire a2);
+  check_bool "port mismatch" false (Equiv.is_equivalent c1 c2)
+
+let test_dff_boundary () =
+  (* same next-state logic through a register: equivalent; negated: not *)
+  let mk invert =
+    let c = Circuit.create "m" in
+    let a = Circuit.add_input c "a" ~width:1 in
+    let ab = Circuit.bit_of_wire a in
+    let d = if invert then Circuit.mk_not c ab else ab in
+    let q = Circuit.mk_dff c ~d:[| d |] in
+    expose c "o" q;
+    c
+  in
+  (* dff cell ids coincide (cell 0/1 layouts): same-name pseudo-ports *)
+  check_bool "same logic equiv" true (Equiv.is_equivalent (mk false) (mk false));
+  check_bool "inverted next-state caught" false
+    (Equiv.is_equivalent (mk false) (mk true))
+
+(* property: a random single-cell mutation of a circuit is detected unless
+   it is semantically neutral (we only assert no false NOT-equivalents for
+   the identity, and no false equivalents for an output inversion) *)
+let prop_inversion_always_detected =
+  QCheck.Test.make ~count:30 ~name:"output inversion is never equivalent"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let c = Circuit.create "m" in
+      let ins =
+        List.init 3 (fun i -> Circuit.add_input c (Printf.sprintf "i%d" i) ~width:1)
+      in
+      let pool = ref (List.map Circuit.bit_of_wire ins) in
+      let st = ref (seed + 3) in
+      let next () =
+        st := (!st * 1103515245) + 12345;
+        (!st lsr 16) land 0xFFF
+      in
+      for _ = 1 to 8 do
+        let pick () = List.nth !pool (next () mod List.length !pool) in
+        let bit =
+          match next () mod 3 with
+          | 0 -> Circuit.mk_and c (pick ()) (pick ())
+          | 1 -> Circuit.mk_or c (pick ()) (pick ())
+          | _ -> Circuit.mk_xor c (pick ()) (pick ())
+        in
+        pool := bit :: !pool
+      done;
+      let out = List.hd !pool in
+      let c2 = Circuit.copy c in
+      expose c "o" [| out |];
+      let inverted = Circuit.mk_not c2 out in
+      expose c2 "o" [| inverted |];
+      check_bool "self" true (Equiv.is_equivalent c (Circuit.copy c));
+      not (Equiv.is_equivalent c c2))
+
+let () =
+  Alcotest.run "equiv"
+    [
+      ( "cec",
+        [
+          Alcotest.test_case "xor identity" `Quick test_structural_vs_rewritten;
+          Alcotest.test_case "add commutes" `Quick test_add_commutes;
+          Alcotest.test_case "sub does not" `Quick test_sub_not_commutative;
+          Alcotest.test_case "missing output" `Quick test_missing_output_detected;
+          Alcotest.test_case "dff boundary" `Quick test_dff_boundary;
+          QCheck_alcotest.to_alcotest prop_inversion_always_detected;
+        ] );
+    ]

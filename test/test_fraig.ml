@@ -1,0 +1,150 @@
+(* Tests for the FRAIG-based equivalence checker, including agreement with
+   the monolithic miter on small random instances. *)
+
+open Netlist
+
+let check_bool = Alcotest.(check bool)
+
+let expose c name (v : Bits.sigspec) =
+  let y = Circuit.add_output c name ~width:(Bits.width v) in
+  ignore
+    (Circuit.add_cell c
+       (Cell.Binary
+          { op = Cell.Or; a = v; b = Bits.all_zero ~width:(Bits.width v);
+            y = Circuit.sig_of_wire y }))
+
+(* two structurally different implementations of the same function *)
+let majority_v1 () =
+  let c = Circuit.create "m" in
+  let a = Circuit.add_input c "a" ~width:1 in
+  let b = Circuit.add_input c "b" ~width:1 in
+  let d = Circuit.add_input c "d" ~width:1 in
+  let ab = Circuit.bit_of_wire a and bb = Circuit.bit_of_wire b in
+  let db = Circuit.bit_of_wire d in
+  let v =
+    Circuit.mk_or c
+      (Circuit.mk_or c (Circuit.mk_and c ab bb) (Circuit.mk_and c ab db))
+      (Circuit.mk_and c bb db)
+  in
+  expose c "o" [| v |];
+  c
+
+let majority_v2 () =
+  (* maj(a,b,d) = (a & (b | d)) | (b & d) *)
+  let c = Circuit.create "m" in
+  let a = Circuit.add_input c "a" ~width:1 in
+  let b = Circuit.add_input c "b" ~width:1 in
+  let d = Circuit.add_input c "d" ~width:1 in
+  let ab = Circuit.bit_of_wire a and bb = Circuit.bit_of_wire b in
+  let db = Circuit.bit_of_wire d in
+  let v =
+    Circuit.mk_or c
+      (Circuit.mk_and c ab (Circuit.mk_or c bb db))
+      (Circuit.mk_and c bb db)
+  in
+  expose c "o" [| v |];
+  c
+
+let test_fraig_positive () =
+  let g1 = (Aiger.Aigmap.map (majority_v1 ())).Aiger.Aigmap.aig in
+  let g2 = (Aiger.Aigmap.map (majority_v2 ())).Aiger.Aigmap.aig in
+  check_bool "majority equal" true
+    (Aiger.Fraig.check_aigs g1 g2 = Aiger.Fraig.Equivalent)
+
+let test_fraig_negative () =
+  let c2 = Circuit.create "m" in
+  let a = Circuit.add_input c2 "a" ~width:1 in
+  let b = Circuit.add_input c2 "b" ~width:1 in
+  let _d = Circuit.add_input c2 "d" ~width:1 in
+  let v = Circuit.mk_and c2 (Circuit.bit_of_wire a) (Circuit.bit_of_wire b) in
+  expose c2 "o" [| v |];
+  let g1 = (Aiger.Aigmap.map (majority_v1 ())).Aiger.Aigmap.aig in
+  let g2 = (Aiger.Aigmap.map c2).Aiger.Aigmap.aig in
+  (match Aiger.Fraig.check_aigs g1 g2 with
+  | Aiger.Fraig.Not_equivalent _ -> ()
+  | Aiger.Fraig.Equivalent | Aiger.Fraig.Inconclusive ->
+    Alcotest.fail "maj vs and should differ")
+
+(* random circuits: fraig verdict must agree with the monolithic miter *)
+let gen_pair seed =
+  let build variant =
+    let c = Circuit.create "m" in
+    let ins =
+      List.init 4 (fun i -> Circuit.add_input c (Printf.sprintf "i%d" i) ~width:1)
+    in
+    let pool = ref (List.map Circuit.bit_of_wire ins) in
+    let st = ref (seed + 101) in
+    let next () =
+      st := (!st * 1103515245) + 12345;
+      (!st lsr 16) land 0xFFF
+    in
+    for k = 1 to 10 do
+      let pick () = List.nth !pool (next () mod List.length !pool) in
+      let a = pick () and b = pick () in
+      let bit =
+        match next () mod 4 with
+        | 0 -> Circuit.mk_and c a b
+        | 1 -> Circuit.mk_or c a b
+        | 2 -> Circuit.mk_xor c a b
+        | _ -> Circuit.mk_not c a
+      in
+      (* the variant flips one late gate to create inequivalent pairs *)
+      let bit =
+        if variant && k = 9 && seed mod 2 = 0 then Circuit.mk_not c bit
+        else bit
+      in
+      pool := bit :: !pool
+    done;
+    expose c "o" [| List.hd !pool |];
+    c
+  in
+  build false, build true
+
+let prop_fraig_matches_monolithic =
+  QCheck.Test.make ~count:60 ~name:"fraig = monolithic miter"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let c1, c2 = gen_pair seed in
+      let g1 = (Aiger.Aigmap.map c1).Aiger.Aigmap.aig in
+      let g2 = (Aiger.Aigmap.map c2).Aiger.Aigmap.aig in
+      let f = Aiger.Fraig.check_aigs g1 g2 in
+      let m = Equiv.check_aigs_monolithic g1 g2 in
+      match f, m with
+      | Aiger.Fraig.Equivalent, Equiv.Equivalent -> true
+      | Aiger.Fraig.Not_equivalent _, Equiv.Not_equivalent _ -> true
+      | _, _ -> false)
+
+let test_fraig_after_optimization () =
+  (* the production use: original vs smartly-optimized circuit *)
+  let p =
+    {
+      Workloads.Profiles.name = "f";
+      seed = 1234;
+      style = `Chain;
+      repeat = 2;
+      mix =
+        [
+          Workloads.Profiles.Case
+            { sel_width = 4; items = 12; width = 8; distinct = 3 };
+          Workloads.Profiles.Correlated_ifs { depth = 3; width = 8 };
+        ];
+      register_fraction = 5;
+    }
+  in
+  let c = Workloads.Profiles.circuit p in
+  let orig = Circuit.copy c in
+  ignore (Smartly.Driver.smartly c);
+  check_bool "optimized equals original" true (Equiv.is_equivalent orig c)
+
+let () =
+  Alcotest.run "fraig"
+    [
+      ( "fraig",
+        [
+          Alcotest.test_case "positive" `Quick test_fraig_positive;
+          Alcotest.test_case "negative" `Quick test_fraig_negative;
+          Alcotest.test_case "after optimization" `Quick
+            test_fraig_after_optimization;
+          QCheck_alcotest.to_alcotest prop_fraig_matches_monolithic;
+        ] );
+    ]

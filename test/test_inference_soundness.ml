@@ -1,0 +1,153 @@
+(* Soundness of the inference engine, checked against brute force.
+
+   For random circuits and random *consistent* known-value sets (values
+   observed in a real execution), every value derived by the inference
+   rules must hold in every input assignment compatible with the knowns,
+   and every Engine verdict must match the brute-force answer.  This is
+   the property that keeps the SAT-elimination pass sound. *)
+
+open Netlist
+
+(* random gate-level circuit over n 1-bit inputs *)
+let gen_circuit seed n_inputs n_gates =
+  let c = Circuit.create "rand" in
+  let ins =
+    List.init n_inputs (fun i ->
+        Circuit.add_input c (Printf.sprintf "i%d" i) ~width:1)
+  in
+  let pool = ref (List.map Circuit.bit_of_wire ins) in
+  let st = ref (seed * 7 + 3) in
+  let next () =
+    st := (!st * 1103515245) + 12345;
+    (!st lsr 16) land 0xFFFF
+  in
+  for _ = 1 to n_gates do
+    let pick () = List.nth !pool (next () mod List.length !pool) in
+    let a = pick () and b = pick () in
+    let bit =
+      match next () mod 7 with
+      | 0 -> Circuit.mk_and c a b
+      | 1 -> Circuit.mk_or c a b
+      | 2 -> Circuit.mk_xor c a b
+      | 3 -> Circuit.mk_not c a
+      | 4 -> (Circuit.mk_binary c Cell.Xnor [| a |] [| b |]).(0)
+      | 5 -> (Circuit.mk_binary c Cell.Eq [| a; b |] [| pick (); pick () |]).(0)
+      | _ -> (Circuit.mk_mux c ~a:[| a |] ~b:[| b |] ~s:(pick ())).(0)
+    in
+    pool := bit :: !pool
+  done;
+  c, ins, !pool
+
+(* evaluate all bits under one input assignment *)
+let eval_all c ins assignment =
+  let inputs =
+    List.mapi
+      (fun i w ->
+        ( Circuit.bit_of_wire w,
+          if (assignment lsr i) land 1 = 1 then Rtl_sim.Value.V1
+          else Rtl_sim.Value.V0 ))
+      ins
+  in
+  Rtl_sim.Eval.run c ~inputs ()
+
+let bit_value env b =
+  match Rtl_sim.Eval.read env b with
+  | Rtl_sim.Value.V1 -> true
+  | Rtl_sim.Value.V0 -> false
+  | Rtl_sim.Value.Vx -> false
+
+(* pick a consistent known set: values of [k] random bits under a random
+   assignment (so a satisfying execution exists by construction) *)
+let pick_knowns st pool env k =
+  let next () =
+    st := (!st * 48271) mod 0x7FFFFFFF;
+    !st
+  in
+  List.init k (fun _ ->
+      let b = List.nth pool (next () mod List.length pool) in
+      b, bit_value env b)
+
+let prop_inference_sound =
+  QCheck.Test.make ~count:120 ~name:"inference rules are sound"
+    QCheck.(pair (int_bound 100000) (int_range 1 3))
+    (fun (seed, k) ->
+      let n_inputs = 5 in
+      let c, ins, pool = gen_circuit seed n_inputs 14 in
+      let witness = seed land ((1 lsl n_inputs) - 1) in
+      let env_w = eval_all c ins witness in
+      let st = ref (seed + 11) in
+      let knowns = pick_knowns st pool env_w k in
+      let known : Smartly.Inference.known = Bits.Bit_tbl.create 8 in
+      (try
+         List.iter
+           (fun (b, v) -> ignore (Smartly.Inference.set known b v))
+           knowns
+       with Smartly.Inference.Contradiction -> ());
+      (match Smartly.Inference.propagate c known (Circuit.cell_ids c) with
+      | _ -> ()
+      | exception Smartly.Inference.Contradiction ->
+        (* cannot happen: the knowns have a witness *)
+        QCheck.Test.fail_report "contradiction on satisfiable knowns");
+      (* every inferred value must hold in every compatible assignment *)
+      let ok = ref true in
+      for a = 0 to (1 lsl n_inputs) - 1 do
+        let env = eval_all c ins a in
+        let compatible =
+          List.for_all (fun (b, v) -> bit_value env b = v) knowns
+        in
+        if compatible then
+          Bits.Bit_tbl.iter
+            (fun b v -> if bit_value env b <> v then ok := false)
+            known
+      done;
+      !ok)
+
+let prop_engine_sound =
+  QCheck.Test.make ~count:80 ~name:"engine verdicts match brute force"
+    QCheck.(pair (int_bound 100000) (int_range 1 2))
+    (fun (seed, k) ->
+      let n_inputs = 5 in
+      let c, ins, pool = gen_circuit seed n_inputs 12 in
+      let witness = (seed / 3) land ((1 lsl n_inputs) - 1) in
+      let env_w = eval_all c ins witness in
+      let st = ref (seed + 29) in
+      let knowns = pick_knowns st pool env_w k in
+      let target = List.nth pool (seed mod List.length pool) in
+      let known : Smartly.Inference.known = Bits.Bit_tbl.create 8 in
+      (try
+         List.iter
+           (fun (b, v) -> ignore (Smartly.Inference.set known b v))
+           knowns
+       with Smartly.Inference.Contradiction -> ());
+      if Bits.Bit_tbl.length known = 0 then true
+      else begin
+        let index = Index.build c in
+        let stats = Smartly.Engine.fresh_stats () in
+        let verdict =
+          Smartly.Engine.determine
+            { Smartly.Config.default with Smartly.Config.distance_k = 32 }
+            stats c index known ~target
+        in
+        (* brute force over all assignments compatible with the knowns *)
+        let saw_true = ref false and saw_false = ref false in
+        for a = 0 to (1 lsl n_inputs) - 1 do
+          let env = eval_all c ins a in
+          if List.for_all (fun (b, v) -> bit_value env b = v) knowns then
+            if bit_value env target then saw_true := true
+            else saw_false := true
+        done;
+        match verdict with
+        | Smartly.Engine.Forced true -> !saw_true && not !saw_false
+        | Smartly.Engine.Forced false -> !saw_false && not !saw_true
+        | Smartly.Engine.Free -> !saw_true && !saw_false
+        | Smartly.Engine.Unreachable -> (not !saw_true) && not !saw_false
+        | Smartly.Engine.Unknown -> true (* giving up is always sound *)
+      end)
+
+let () =
+  Alcotest.run "inference_soundness"
+    [
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_inference_sound; prop_engine_sound ] );
+    ]

@@ -1,0 +1,147 @@
+(* End-to-end integration tests: Verilog in, optimized netlist out, with
+   functional checks along the whole pipeline. *)
+
+open Netlist
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run_output ?(style = `Chain) src ivals out_name =
+  let c = Hdl.Elaborate.elaborate_string ~style src in
+  let inputs =
+    List.concat_map
+      (fun (name, v) ->
+        let w =
+          List.find (fun w -> w.Circuit.wire_name = name) (Circuit.inputs c)
+        in
+        List.init w.Circuit.width (fun i ->
+            ( Bits.Of_wire (w.Circuit.wire_id, i),
+              if (v lsr i) land 1 = 1 then Rtl_sim.Value.V1
+              else Rtl_sim.Value.V0 )))
+      ivals
+  in
+  let env = Rtl_sim.Eval.run c ~inputs () in
+  let y =
+    List.find (fun w -> w.Circuit.wire_name = out_name) (Circuit.outputs c)
+  in
+  c, Rtl_sim.Eval.read_int env (Circuit.sig_of_wire y)
+
+(* a small ALU exercising most expression forms *)
+let alu =
+  {|
+module alu(input [2:0] op, input [7:0] a, input [7:0] b, output reg [7:0] y);
+  wire [7:0] sum;
+  wire [7:0] diff;
+  assign sum = a + b;
+  assign diff = a - b;
+  always @* begin
+    case (op)
+      3'd0: y = sum;
+      3'd1: y = diff;
+      3'd2: y = a & b;
+      3'd3: y = a | b;
+      3'd4: y = a ^ b;
+      3'd5: y = ~a;
+      3'd6: y = (a == b) ? 8'd1 : 8'd0;
+      default: y = a;
+    endcase
+  end
+endmodule
+|}
+
+let alu_model op a b =
+  match op with
+  | 0 -> (a + b) land 255
+  | 1 -> (a - b) land 255
+  | 2 -> a land b
+  | 3 -> a lor b
+  | 4 -> a lxor b
+  | 5 -> lnot a land 255
+  | 6 -> if a = b then 1 else 0
+  | _ -> a
+
+let test_alu_semantics () =
+  List.iter
+    (fun (op, a, b) ->
+      let _, got = run_output alu [ "op", op; "a", a; "b", b ] "y" in
+      check_int
+        (Printf.sprintf "op=%d a=%d b=%d" op a b)
+        (alu_model op a b) (Option.get got))
+    [
+      0, 200, 57; 1, 13, 200; 2, 0xF0, 0x3C; 3, 0xF0, 0x3C; 4, 0xAA, 0xFF;
+      5, 0x0F, 0; 6, 42, 42; 6, 42, 43; 7, 99, 1;
+    ]
+
+let test_alu_optimized_equivalent () =
+  List.iter
+    (fun style ->
+      let c = Hdl.Elaborate.elaborate_string ~style alu in
+      let orig = Circuit.copy c in
+      ignore (Smartly.Driver.smartly c);
+      check_bool "valid" true (Validate.is_well_formed c);
+      check_bool "equivalent" true (Equiv.is_equivalent orig c);
+      (* and still computes the right thing *)
+      let inputs =
+        List.concat_map
+          (fun (name, v) ->
+            let w =
+              List.find (fun w -> w.Circuit.wire_name = name) (Circuit.inputs c)
+            in
+            List.init w.Circuit.width (fun i ->
+                ( Bits.Of_wire (w.Circuit.wire_id, i),
+                  if (v lsr i) land 1 = 1 then Rtl_sim.Value.V1
+                  else Rtl_sim.Value.V0 )))
+          [ "op", 1; "a", 7; "b", 9 ]
+      in
+      let env = Rtl_sim.Eval.run c ~inputs () in
+      let y =
+        List.find (fun w -> w.Circuit.wire_name = "y") (Circuit.outputs c)
+      in
+      check_int "7-9 mod 256" 254
+        (Option.get (Rtl_sim.Eval.read_int env (Circuit.sig_of_wire y))))
+    [ `Chain; `Balanced; `Pmux ]
+
+(* deep nesting stress: 6 levels of correlated conditions *)
+let test_deep_nesting () =
+  let c =
+    Workloads.Profiles.circuit
+      {
+        Workloads.Profiles.name = "deep";
+        seed = 77;
+        style = `Chain;
+        repeat = 1;
+        mix =
+          [
+            Workloads.Profiles.Correlated_ifs { depth = 6; width = 8 };
+            Workloads.Profiles.Correlated_ifs { depth = 5; width = 8 };
+          ];
+        register_fraction = 0;
+      }
+  in
+  let orig = Circuit.copy c in
+  let cy = Circuit.copy c in
+  ignore (Smartly.Driver.yosys cy);
+  ignore (Smartly.Driver.smartly c);
+  check_bool "equivalent" true (Equiv.is_equivalent orig c);
+  check_bool "smartly <= yosys" true
+    (Aiger.Aigmap.aig_area c <= Aiger.Aigmap.aig_area cy)
+
+(* dump round: the printer runs and mentions the module *)
+let test_pp_dump () =
+  let c = Hdl.Elaborate.elaborate_string alu in
+  let dump = Netlist.Pp.to_string c in
+  check_bool "mentions module" true
+    (String.length dump > 10 && String.sub dump 0 10 = "module alu")
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "alu semantics" `Quick test_alu_semantics;
+          Alcotest.test_case "alu optimized equivalent" `Quick
+            test_alu_optimized_equivalent;
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "pp dump" `Quick test_pp_dump;
+        ] );
+    ]

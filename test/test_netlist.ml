@@ -1,0 +1,228 @@
+(* Tests for the netlist IR: bits, cells, circuit, indices, topo, validate. *)
+
+open Netlist
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Bits --- *)
+
+let test_bits_of_to_int () =
+  let s = Bits.of_int ~width:8 0xA5 in
+  check_int "roundtrip" 0xA5 (Bits.to_int s);
+  check_int "width" 8 (Bits.width s);
+  check_bool "const" true (Bits.is_fully_const s)
+
+let test_bits_slice_concat () =
+  let s = Bits.of_int ~width:8 0xA5 in
+  let lo = Bits.slice s ~off:0 ~len:4 in
+  let hi = Bits.slice s ~off:4 ~len:4 in
+  check_int "lo" 0x5 (Bits.to_int lo);
+  check_int "hi" 0xA (Bits.to_int hi);
+  check_int "concat" 0xA5 (Bits.to_int (Bits.concat [ lo; hi ]));
+  Alcotest.check_raises "slice oob" (Invalid_argument "Bits.slice") (fun () ->
+      ignore (Bits.slice s ~off:6 ~len:4))
+
+let test_bits_extend () =
+  let s = Bits.of_int ~width:4 0xF in
+  check_int "zero extend" 0xF (Bits.to_int (Bits.extend s ~width:8));
+  check_int "truncate" 0x3 (Bits.to_int (Bits.extend s ~width:2))
+
+let test_bits_to_int_x () =
+  Alcotest.check_raises "x bit" (Invalid_argument "Bits.to_int: non-binary bit")
+    (fun () -> ignore (Bits.to_int [| Bits.Cx |]))
+
+(* --- Cells --- *)
+
+let test_cell_widths () =
+  let a = Bits.of_int ~width:4 0 and y1 = Bits.of_int ~width:1 0 in
+  (* bad: $not with different widths *)
+  check_bool "not bad" true
+    (match Cell.check_widths (Cell.Unary { op = Cell.Not; a; y = y1 }) with
+    | () -> false
+    | exception Cell.Width_error _ -> true);
+  (* good: logic_not any width -> 1 *)
+  Cell.check_widths (Cell.Unary { op = Cell.Logic_not; a; y = y1 });
+  (* bad pmux: |b| <> |s|*|a| *)
+  check_bool "pmux bad" true
+    (match
+       Cell.check_widths
+         (Cell.Pmux
+            {
+              a;
+              b = Bits.of_int ~width:4 0;
+              s = Bits.of_int ~width:2 0;
+              y = a;
+            })
+     with
+    | () -> false
+    | exception Cell.Width_error _ -> true)
+
+let test_cell_ports () =
+  let a = Bits.of_int ~width:2 1 and b = Bits.of_int ~width:2 2 in
+  let y = Bits.of_int ~width:2 0 in
+  let m = Cell.Mux { a; b; s = Bits.C1; y } in
+  check_int "inputs" 5 (List.length (Cell.input_bits m));
+  check_int "outputs" 2 (List.length (Cell.output_bits m));
+  check_int "controls" 1 (List.length (Cell.control_bits m));
+  check_bool "comb" true (Cell.is_combinational m);
+  check_bool "dff not comb" false
+    (Cell.is_combinational (Cell.Dff { d = a; q = y }))
+
+(* --- Circuit + Index --- *)
+
+let build_simple () =
+  (* y = (a & b) | c *)
+  let c = Circuit.create "simple" in
+  let a = Circuit.add_input c "a" ~width:4 in
+  let b = Circuit.add_input c "b" ~width:4 in
+  let cc = Circuit.add_input c "c" ~width:4 in
+  let ab =
+    Circuit.mk_binary c Cell.And (Circuit.sig_of_wire a) (Circuit.sig_of_wire b)
+  in
+  let y = Circuit.add_output c "y" ~width:4 in
+  ignore
+    (Circuit.add_cell c
+       (Cell.Binary
+          { op = Cell.Or; a = ab; b = Circuit.sig_of_wire cc;
+            y = Circuit.sig_of_wire y }));
+  c
+
+let test_circuit_basics () =
+  let c = build_simple () in
+  check_int "cells" 2 (Circuit.cell_count c);
+  check_int "inputs" 3 (List.length (Circuit.inputs c));
+  check_int "outputs" 1 (List.length (Circuit.outputs c));
+  check_bool "well formed" true (Validate.is_well_formed c)
+
+let test_index () =
+  let c = build_simple () in
+  let idx = Index.build c in
+  let y = List.hd (Circuit.outputs c) in
+  let yb = Bits.Of_wire (y.Circuit.wire_id, 0) in
+  (match Index.driver idx yb with
+  | Index.Driven_by (_, 0) -> ()
+  | Index.Driven_by (_, _) | Index.Primary_input | Index.Undriven ->
+    Alcotest.fail "expected cell driver at offset 0");
+  let a = List.hd (Circuit.inputs c) in
+  let ab = Bits.Of_wire (a.Circuit.wire_id, 0) in
+  check_bool "input is PI" true (Index.driver idx ab = Index.Primary_input);
+  check_int "a read by 1 cell" 1 (List.length (Index.readers idx ab))
+
+let test_topo_and_depth () =
+  let c = build_simple () in
+  let order = Topo.sort c in
+  check_int "both cells ordered" 2 (List.length order);
+  check_int "depth" 2 (Topo.logic_depth c);
+  check_bool "acyclic" true (Topo.is_acyclic c)
+
+let test_cycle_detection () =
+  let c = Circuit.create "cyc" in
+  let w1 = Circuit.add_wire c ~width:1 () in
+  let w2 = Circuit.add_wire c ~width:1 () in
+  let b1 = Circuit.bit_of_wire w1 and b2 = Circuit.bit_of_wire w2 in
+  ignore
+    (Circuit.add_cell c
+       (Cell.Unary { op = Cell.Not; a = [| b1 |]; y = [| b2 |] }));
+  ignore
+    (Circuit.add_cell c
+       (Cell.Unary { op = Cell.Not; a = [| b2 |]; y = [| b1 |] }));
+  check_bool "cyclic" false (Topo.is_acyclic c);
+  check_bool "validate flags it" true
+    (List.exists (fun i -> i = Validate.Cyclic) (Validate.check c))
+
+let test_dff_breaks_cycle () =
+  let c = Circuit.create "seq" in
+  let w1 = Circuit.add_wire c ~width:1 () in
+  let w2 = Circuit.add_wire c ~width:1 () in
+  let b1 = Circuit.bit_of_wire w1 and b2 = Circuit.bit_of_wire w2 in
+  ignore
+    (Circuit.add_cell c
+       (Cell.Unary { op = Cell.Not; a = [| b1 |]; y = [| b2 |] }));
+  ignore (Circuit.add_cell c (Cell.Dff { d = [| b2 |]; q = [| b1 |] }));
+  check_bool "dff breaks loop" true (Topo.is_acyclic c)
+
+let test_validate_multiple_drivers () =
+  let c = Circuit.create "md" in
+  let a = Circuit.add_input c "a" ~width:1 in
+  let y = Circuit.add_wire c ~width:1 () in
+  let ab = Circuit.bit_of_wire a and yb = Circuit.bit_of_wire y in
+  ignore
+    (Circuit.add_cell c (Cell.Unary { op = Cell.Not; a = [| ab |]; y = [| yb |] }));
+  ignore
+    (Circuit.add_cell c (Cell.Unary { op = Cell.Not; a = [| ab |]; y = [| yb |] }));
+  check_bool "flagged" true
+    (List.exists
+       (function Validate.Multiple_drivers _ -> true | _ -> false)
+       (Validate.check c))
+
+let test_validate_dangling () =
+  let c = Circuit.create "dangle" in
+  let w = Circuit.add_wire c ~width:1 () in
+  let y = Circuit.add_output c "y" ~width:1 in
+  ignore
+    (Circuit.add_cell c
+       (Cell.Unary
+          { op = Cell.Not; a = [| Circuit.bit_of_wire w |];
+            y = [| Circuit.bit_of_wire y |] }));
+  check_bool "flagged" true
+    (List.exists
+       (function Validate.Dangling_wire_bit _ -> true | _ -> false)
+       (Validate.check c))
+
+(* --- Rewire --- *)
+
+let test_rewire () =
+  let c = build_simple () in
+  (* replace input c with constant zero in the or cell *)
+  let cc = List.nth (Circuit.inputs c) 2 in
+  Rewire.replace_sig c
+    ~from_:(Circuit.sig_of_wire cc)
+    ~to_:(Bits.all_zero ~width:4);
+  let ok = ref true in
+  Circuit.iter_cells
+    (fun _ cell ->
+      List.iter
+        (fun b ->
+          match b with
+          | Bits.Of_wire (wid, _) when wid = cc.Circuit.wire_id -> ok := false
+          | _ -> ())
+        (Cell.input_bits cell))
+    c;
+  check_bool "no reader of c left" true !ok
+
+let test_stats () =
+  let c = build_simple () in
+  let s = Stats.of_circuit c in
+  check_int "total" 2 s.Stats.total;
+  check_int "bitwise" 2 s.Stats.bitwise;
+  check_int "muxes" 0 s.Stats.muxes
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "bits",
+        [
+          Alcotest.test_case "of/to int" `Quick test_bits_of_to_int;
+          Alcotest.test_case "slice/concat" `Quick test_bits_slice_concat;
+          Alcotest.test_case "extend" `Quick test_bits_extend;
+          Alcotest.test_case "to_int x" `Quick test_bits_to_int_x;
+        ] );
+      ( "cells",
+        [
+          Alcotest.test_case "width checks" `Quick test_cell_widths;
+          Alcotest.test_case "ports" `Quick test_cell_ports;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "basics" `Quick test_circuit_basics;
+          Alcotest.test_case "index" `Quick test_index;
+          Alcotest.test_case "topo + depth" `Quick test_topo_and_depth;
+          Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+          Alcotest.test_case "dff breaks cycle" `Quick test_dff_breaks_cycle;
+          Alcotest.test_case "multiple drivers" `Quick test_validate_multiple_drivers;
+          Alcotest.test_case "dangling bit" `Quick test_validate_dangling;
+          Alcotest.test_case "rewire" `Quick test_rewire;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+    ]

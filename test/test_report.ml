@@ -1,0 +1,50 @@
+(* Tests for the ASCII table renderer. *)
+
+let check_bool = Alcotest.(check bool)
+
+let test_render_alignment () =
+  let out =
+    Report.Table.render
+      ~columns:
+        [
+          Report.Table.column ~align:Report.Table.Left "name";
+          Report.Table.column "value";
+        ]
+      ~rows:[ [ "a"; "1" ]; [ "long-name"; "12345" ] ]
+  in
+  let lines = String.split_on_char '\n' out |> List.filter (( <> ) "") in
+  (* border, header, border, 2 rows, border *)
+  check_bool "six lines" true (List.length lines = 6);
+  (* all lines equal width *)
+  let widths = List.map String.length lines in
+  check_bool "rectangular" true
+    (List.for_all (( = ) (List.hd widths)) widths);
+  let contains sub l =
+    let n = String.length sub and m = String.length l in
+    let rec go i = i + n <= m && (String.sub l i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "contains value" true (List.exists (contains "12345") lines)
+
+let test_render_missing_cells () =
+  (* short rows render with empty cells rather than raising *)
+  let out =
+    Report.Table.render
+      ~columns:[ Report.Table.column "a"; Report.Table.column "b" ]
+      ~rows:[ [ "only" ] ]
+  in
+  check_bool "rendered" true (String.length out > 0)
+
+let test_pct () =
+  check_bool "pct format" true (Report.Table.pct 12.345 = "12.35%" || Report.Table.pct 12.345 = "12.34%")
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "alignment" `Quick test_render_alignment;
+          Alcotest.test_case "missing cells" `Quick test_render_missing_cells;
+          Alcotest.test_case "pct" `Quick test_pct;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+(* Tests for the CDCL SAT solver: hand cases + random CNF vs brute force. *)
+
+let lit v ~neg = Cdcl.Lit.of_var ~negated:neg v
+
+let test_trivial_sat () =
+  let s = Cdcl.Solver.create () in
+  let a = Cdcl.Solver.new_var s in
+  Cdcl.Solver.add_clause s [ lit a ~neg:false ];
+  Alcotest.(check bool) "sat" true (Cdcl.Solver.solve s = Cdcl.Solver.Sat);
+  Alcotest.(check bool) "model a" true (Cdcl.Solver.model_value s a)
+
+let test_trivial_unsat () =
+  let s = Cdcl.Solver.create () in
+  let a = Cdcl.Solver.new_var s in
+  Cdcl.Solver.add_clause s [ lit a ~neg:false ];
+  Cdcl.Solver.add_clause s [ lit a ~neg:true ];
+  Alcotest.(check bool) "unsat" true (Cdcl.Solver.solve s = Cdcl.Solver.Unsat)
+
+let test_unit_chain () =
+  (* a; ~a | b; ~b | c  =>  all true *)
+  let s = Cdcl.Solver.create () in
+  let a = Cdcl.Solver.new_var s in
+  let b = Cdcl.Solver.new_var s in
+  let c = Cdcl.Solver.new_var s in
+  Cdcl.Solver.add_clause s [ lit a ~neg:false ];
+  Cdcl.Solver.add_clause s [ lit a ~neg:true; lit b ~neg:false ];
+  Cdcl.Solver.add_clause s [ lit b ~neg:true; lit c ~neg:false ];
+  Alcotest.(check bool) "sat" true (Cdcl.Solver.solve s = Cdcl.Solver.Sat);
+  Alcotest.(check bool) "c true" true (Cdcl.Solver.model_value s c)
+
+let test_assumptions () =
+  (* ~a | b.  Under assumption a: b must be true.  Under a & ~b: unsat. *)
+  let s = Cdcl.Solver.create () in
+  let a = Cdcl.Solver.new_var s in
+  let b = Cdcl.Solver.new_var s in
+  Cdcl.Solver.add_clause s [ lit a ~neg:true; lit b ~neg:false ];
+  let r1 =
+    Cdcl.Solver.solve s ~assumptions:[ lit a ~neg:false; lit b ~neg:true ]
+  in
+  Alcotest.(check bool) "a & ~b unsat" true (r1 = Cdcl.Solver.Unsat);
+  let r2 = Cdcl.Solver.solve s ~assumptions:[ lit a ~neg:false ] in
+  Alcotest.(check bool) "a sat" true (r2 = Cdcl.Solver.Sat);
+  Alcotest.(check bool) "b forced" true (Cdcl.Solver.model_value s b);
+  (* solver still usable and not permanently unsat *)
+  let r3 = Cdcl.Solver.solve s in
+  Alcotest.(check bool) "still sat" true (r3 = Cdcl.Solver.Sat)
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: classic small unsat instance.
+     var p(i,h) = pigeon i in hole h. *)
+  let s = Cdcl.Solver.create () in
+  let p = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Cdcl.Solver.new_var s)) in
+  for i = 0 to 2 do
+    Cdcl.Solver.add_clause s
+      [ lit p.(i).(0) ~neg:false; lit p.(i).(1) ~neg:false ]
+  done;
+  for h = 0 to 1 do
+    for i = 0 to 2 do
+      for j = i + 1 to 2 do
+        Cdcl.Solver.add_clause s [ lit p.(i).(h) ~neg:true; lit p.(j).(h) ~neg:true ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php(3,2) unsat" true
+    (Cdcl.Solver.solve s = Cdcl.Solver.Unsat)
+
+let test_dimacs_roundtrip () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let cnf = Cdcl.Dimacs.parse_string text in
+  Alcotest.(check int) "vars" 3 cnf.Cdcl.Dimacs.num_vars;
+  Alcotest.(check int) "clauses" 2 (List.length cnf.Cdcl.Dimacs.clauses);
+  let s = Cdcl.Dimacs.load cnf in
+  Alcotest.(check bool) "sat" true (Cdcl.Solver.solve s = Cdcl.Solver.Sat);
+  let text2 = Cdcl.Dimacs.to_string cnf in
+  let cnf2 = Cdcl.Dimacs.parse_string text2 in
+  Alcotest.(check bool) "roundtrip" true
+    (cnf.Cdcl.Dimacs.clauses = cnf2.Cdcl.Dimacs.clauses)
+
+(* --- brute force reference --- *)
+
+let brute_force_sat ~num_vars clauses =
+  let rec try_assign v =
+    if v = 1 lsl num_vars then false
+    else
+      let sat_clause clause =
+        List.exists
+          (fun d ->
+            let var = abs d - 1 in
+            let value = (v lsr var) land 1 = 1 in
+            if d > 0 then value else not value)
+          clause
+      in
+      if List.for_all sat_clause clauses then true else try_assign (v + 1)
+  in
+  try_assign 0
+
+let gen_cnf =
+  QCheck.Gen.(
+    let* num_vars = int_range 1 10 in
+    let* num_clauses = int_range 1 40 in
+    let gen_lit =
+      let* v = int_range 1 num_vars in
+      let* neg = bool in
+      return (if neg then -v else v)
+    in
+    let* clauses = list_size (return num_clauses) (list_size (int_range 1 4) gen_lit) in
+    return (num_vars, clauses))
+
+let arb_cnf =
+  QCheck.make gen_cnf ~print:(fun (nv, cls) ->
+      Cdcl.Dimacs.to_string { Cdcl.Dimacs.num_vars = nv; clauses = cls })
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~count:300 ~name:"cdcl agrees with brute force" arb_cnf
+    (fun (num_vars, clauses) ->
+      let expected = brute_force_sat ~num_vars clauses in
+      let s = Cdcl.Dimacs.load { Cdcl.Dimacs.num_vars; clauses } in
+      let got = Cdcl.Solver.solve s in
+      (match got with
+      | Cdcl.Solver.Sat ->
+        (* verify the model *)
+        List.for_all
+          (fun clause ->
+            List.exists
+              (fun d ->
+                let value = Cdcl.Solver.model_value s (abs d - 1) in
+                if d > 0 then value else not value)
+              clause)
+          clauses
+        && expected
+      | Cdcl.Solver.Unsat -> not expected
+      | Cdcl.Solver.Unknown -> false))
+
+let prop_assumptions_consistent =
+  (* solving with assumptions equals solving with those units added *)
+  QCheck.Test.make ~count:200 ~name:"assumptions = added units" arb_cnf
+    (fun (num_vars, clauses) ->
+      let assum = [ 1; (if num_vars > 1 then -2 else 1) ] in
+      let s1 = Cdcl.Dimacs.load { Cdcl.Dimacs.num_vars; clauses } in
+      let lits =
+        List.map (fun d -> Cdcl.Lit.of_var ~negated:(d < 0) (abs d - 1)) assum
+      in
+      let r1 = Cdcl.Solver.solve s1 ~assumptions:lits in
+      let s2 =
+        Cdcl.Dimacs.load
+          { Cdcl.Dimacs.num_vars; clauses = clauses @ List.map (fun d -> [ d ]) assum }
+      in
+      let r2 = Cdcl.Solver.solve s2 in
+      r1 = r2)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+          Alcotest.test_case "unit chain" `Quick test_unit_chain;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "pigeonhole 3/2" `Quick test_pigeonhole_3_2;
+          Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_matches_brute_force; prop_assumptions_consistent ] );
+    ]

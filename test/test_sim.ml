@@ -1,0 +1,219 @@
+(* Tests for the evaluators: 3-valued semantics, vector simulation, and a
+   qcheck property that the two agree on random circuits. *)
+
+open Netlist
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* helper: 1-output circuit builder over [n] 1-bit inputs *)
+let inputs_of c n =
+  List.init n (fun i -> Circuit.add_input c (Printf.sprintf "i%d" i) ~width:1)
+
+let run_bits c pairs =
+  let inputs =
+    List.map
+      (fun (w, v) ->
+        ( Circuit.bit_of_wire w,
+          if v then Rtl_sim.Value.V1 else Rtl_sim.Value.V0 ))
+      pairs
+  in
+  Rtl_sim.Eval.run c ~inputs ()
+
+(* --- value algebra --- *)
+
+let test_value_tables () =
+  let open Rtl_sim.Value in
+  check_bool "0&x=0" true (v_and V0 Vx = V0);
+  check_bool "1&x=x" true (v_and V1 Vx = Vx);
+  check_bool "1|x=1" true (v_or V1 Vx = V1);
+  check_bool "0|x=x" true (v_or V0 Vx = Vx);
+  check_bool "x^1=x" true (v_xor Vx V1 = Vx);
+  check_bool "~x=x" true (v_not Vx = Vx);
+  check_bool "mux x sel same" true (v_mux ~a:V1 ~b:V1 ~s:Vx = V1);
+  check_bool "mux x sel diff" true (v_mux ~a:V0 ~b:V1 ~s:Vx = Vx)
+
+(* --- cell semantics --- *)
+
+let test_eval_gates () =
+  let c = Circuit.create "gates" in
+  let ws = inputs_of c 2 in
+  let a, b =
+    match ws with [ a; b ] -> a, b | _ -> assert false
+  in
+  let ab = Circuit.bit_of_wire a and bb = Circuit.bit_of_wire b in
+  let y_and = Circuit.mk_and c ab bb in
+  let y_or = Circuit.mk_or c ab bb in
+  let y_xor = Circuit.mk_xor c ab bb in
+  let y_not = Circuit.mk_not c ab in
+  let env = run_bits c [ a, true; b, false ] in
+  let rd bit = Rtl_sim.Eval.read env bit in
+  check_bool "and" true (rd y_and = Rtl_sim.Value.V0);
+  check_bool "or" true (rd y_or = Rtl_sim.Value.V1);
+  check_bool "xor" true (rd y_xor = Rtl_sim.Value.V1);
+  check_bool "not" true (rd y_not = Rtl_sim.Value.V0)
+
+let test_eval_add_sub () =
+  let c = Circuit.create "arith" in
+  let a = Circuit.add_input c "a" ~width:8 in
+  let b = Circuit.add_input c "b" ~width:8 in
+  let sum =
+    Circuit.mk_binary c Cell.Add (Circuit.sig_of_wire a) (Circuit.sig_of_wire b)
+  in
+  let diff =
+    Circuit.mk_binary c Cell.Sub (Circuit.sig_of_wire a) (Circuit.sig_of_wire b)
+  in
+  let mk_in w v =
+    List.init 8 (fun i ->
+        ( Bits.Of_wire (w.Circuit.wire_id, i),
+          if (v lsr i) land 1 = 1 then Rtl_sim.Value.V1 else Rtl_sim.Value.V0 ))
+  in
+  let env =
+    Rtl_sim.Eval.run c ~inputs:(mk_in a 200 @ mk_in b 57) ()
+  in
+  check_int "add" ((200 + 57) land 255)
+    (Option.get (Rtl_sim.Eval.read_int env sum));
+  check_int "sub" ((200 - 57) land 255)
+    (Option.get (Rtl_sim.Eval.read_int env diff))
+
+let test_eval_eq_pmux () =
+  let c = Circuit.create "eqp" in
+  let s = Circuit.add_input c "s" ~width:2 in
+  let eq1 = Circuit.mk_eq_const c (Circuit.sig_of_wire s) 2 in
+  let p =
+    Circuit.mk_pmux c
+      ~a:(Bits.of_int ~width:4 15)
+      ~b:(Bits.concat [ Bits.of_int ~width:4 3; Bits.of_int ~width:4 9 ])
+      ~s:[| eq1; Circuit.mk_eq_const c (Circuit.sig_of_wire s) 1 |]
+  in
+  let mk v =
+    List.init 2 (fun i ->
+        ( Bits.Of_wire (s.Circuit.wire_id, i),
+          if (v lsr i) land 1 = 1 then Rtl_sim.Value.V1 else Rtl_sim.Value.V0 ))
+  in
+  let env = Rtl_sim.Eval.run c ~inputs:(mk 2) () in
+  check_int "pmux part0 (s==2)" 3 (Option.get (Rtl_sim.Eval.read_int env p));
+  let env = Rtl_sim.Eval.run c ~inputs:(mk 1) () in
+  check_int "pmux part1 (s==1)" 9 (Option.get (Rtl_sim.Eval.read_int env p));
+  let env = Rtl_sim.Eval.run c ~inputs:(mk 0) () in
+  check_int "pmux default" 15 (Option.get (Rtl_sim.Eval.read_int env p))
+
+let test_x_propagation () =
+  let c = Circuit.create "xprop" in
+  let a = Circuit.add_input c "a" ~width:1 in
+  let b = Circuit.add_input c "b" ~width:1 in
+  let y = Circuit.mk_and c (Circuit.bit_of_wire a) (Circuit.bit_of_wire b) in
+  (* only a assigned; 0 & x = 0, 1 & x = x *)
+  let env = run_bits c [ a, false ] in
+  check_bool "0 & x = 0" true (Rtl_sim.Eval.read env y = Rtl_sim.Value.V0);
+  let env = run_bits c [ a, true ] in
+  check_bool "1 & x = x" true (Rtl_sim.Eval.read env y = Rtl_sim.Value.Vx)
+
+(* --- vector sim agrees with 3-valued eval on random circuits --- *)
+
+let gen_rand_circuit seed =
+  (* a small random DAG over 4 inputs built from 1-bit ops *)
+  let c = Circuit.create "rand" in
+  let ins = inputs_of c 4 in
+  let pool = ref (List.map Circuit.bit_of_wire ins) in
+  let st = ref seed in
+  let next () =
+    st := (!st * 1103515245) + 12345;
+    (!st lsr 16) land 0xFFF
+  in
+  for _ = 1 to 12 do
+    let pick () = List.nth !pool (next () mod List.length !pool) in
+    let a = pick () and b = pick () in
+    let bit =
+      match next () mod 5 with
+      | 0 -> Circuit.mk_and c a b
+      | 1 -> Circuit.mk_or c a b
+      | 2 -> Circuit.mk_xor c a b
+      | 3 -> Circuit.mk_not c a
+      | _ -> Circuit.mk_mux c ~a:[| a |] ~b:[| b |] ~s:(pick ()) |> fun s -> s.(0)
+    in
+    pool := bit :: !pool
+  done;
+  let y = Circuit.add_output c "y" ~width:1 in
+  ignore
+    (Circuit.add_cell c
+       (Cell.Binary
+          {
+            op = Cell.Or;
+            a = [| List.hd !pool |];
+            b = [| Bits.C0 |];
+            y = [| Circuit.bit_of_wire y |];
+          }));
+  c, ins
+
+let prop_vector_matches_eval =
+  QCheck.Test.make ~count:100 ~name:"vector sim = 3-valued eval (binary inputs)"
+    QCheck.(pair (int_bound 100000) (int_bound 15))
+    (fun (seed, input_bits) ->
+      let c, ins = gen_rand_circuit seed in
+      let y = List.hd (Circuit.outputs c) in
+      let yb = Bits.Of_wire (y.Circuit.wire_id, 0) in
+      (* 3-valued run *)
+      let inputs =
+        List.mapi
+          (fun i w ->
+            ( Circuit.bit_of_wire w,
+              if (input_bits lsr i) land 1 = 1 then Rtl_sim.Value.V1
+              else Rtl_sim.Value.V0 ))
+          ins
+      in
+      let env3 = Rtl_sim.Eval.run c ~inputs () in
+      (* vector run, 1 lane *)
+      let envv = Rtl_sim.Vector.create ~lanes:1 () in
+      List.iteri
+        (fun i w ->
+          Rtl_sim.Vector.write envv (Circuit.bit_of_wire w)
+            ((input_bits lsr i) land 1))
+        ins;
+      Rtl_sim.Vector.eval_ordered c envv (Topo.sort c);
+      let v3 = Rtl_sim.Eval.read env3 yb in
+      let vv = Rtl_sim.Vector.read envv yb in
+      match v3 with
+      | Rtl_sim.Value.V0 -> vv = 0
+      | Rtl_sim.Value.V1 -> vv = 1
+      | Rtl_sim.Value.Vx -> false (* fully-driven: X impossible *))
+
+let test_random_equiv_detects_difference () =
+  let c1 = Circuit.create "m" in
+  let a = Circuit.add_input c1 "a" ~width:1 in
+  let y = Circuit.add_output c1 "y" ~width:1 in
+  ignore
+    (Circuit.add_cell c1
+       (Cell.Unary
+          { op = Cell.Not; a = [| Circuit.bit_of_wire a |];
+            y = [| Circuit.bit_of_wire y |] }));
+  let c2 = Circuit.create "m" in
+  let a2 = Circuit.add_input c2 "a" ~width:1 in
+  let y2 = Circuit.add_output c2 "y" ~width:1 in
+  ignore
+    (Circuit.add_cell c2
+       (Cell.Binary
+          { op = Cell.Or; a = [| Circuit.bit_of_wire a2 |]; b = [| Bits.C0 |];
+            y = [| Circuit.bit_of_wire y2 |] }));
+  check_bool "not vs buf differ" true
+    (Rtl_sim.Vector.random_equiv c1 c2 <> None);
+  check_bool "self equiv" true (Rtl_sim.Vector.random_equiv c1 c1 = None)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "value tables" `Quick test_value_tables;
+          Alcotest.test_case "gates" `Quick test_eval_gates;
+          Alcotest.test_case "add/sub" `Quick test_eval_add_sub;
+          Alcotest.test_case "eq + pmux" `Quick test_eval_eq_pmux;
+          Alcotest.test_case "x propagation" `Quick test_x_propagation;
+        ] );
+      ( "vector",
+        [
+          Alcotest.test_case "random equiv" `Quick
+            test_random_equiv_detects_difference;
+          QCheck_alcotest.to_alcotest prop_vector_matches_eval;
+        ] );
+    ]

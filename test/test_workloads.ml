@@ -1,0 +1,139 @@
+(* Tests for the workload generators: determinism, validity, and the
+   intended structural character of each profile. *)
+
+open Netlist
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_profile seed =
+  {
+    Workloads.Profiles.name = "small";
+    seed;
+    style = `Chain;
+    repeat = 2;
+    mix =
+      [
+        Workloads.Profiles.Case
+          { sel_width = 3; items = 6; width = 4; distinct = 3 };
+        Workloads.Profiles.Correlated_ifs { depth = 2; width = 4 };
+        Workloads.Profiles.Datapath { width = 4; ops = 2 };
+        Workloads.Profiles.Crossbar_port { n_grants = 3; width = 4 };
+        Workloads.Profiles.Casez_priority { sel_width = 3; width = 4 };
+        Workloads.Profiles.Redundant_nest { width = 4 };
+        Workloads.Profiles.Foldable { width = 4 };
+        Workloads.Profiles.Priority_chain { depth = 2; width = 4 };
+        Workloads.Profiles.Pipeline_stage { width = 4 };
+      ];
+    register_fraction = 5;
+  }
+
+let test_deterministic () =
+  let s1 = Workloads.Profiles.source (small_profile 42) in
+  let s2 = Workloads.Profiles.source (small_profile 42) in
+  check_bool "same seed, same source" true (s1 = s2);
+  let s3 = Workloads.Profiles.source (small_profile 43) in
+  check_bool "different seed, different source" true (s1 <> s3)
+
+let test_circuits_valid () =
+  List.iter
+    (fun seed ->
+      let c = Workloads.Profiles.circuit (small_profile seed) in
+      check_bool
+        (Printf.sprintf "seed %d well-formed" seed)
+        true (Validate.is_well_formed c))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_all_public_profiles_parse () =
+  (* elaborating the full profiles is covered by the bench; here we only
+     check the sources lex and parse *)
+  List.iter
+    (fun (p : Workloads.Profiles.profile) ->
+      let src = Workloads.Profiles.source p in
+      let m = Hdl.Parser.parse_string src in
+      check_bool p.Workloads.Profiles.name true
+        (m.Hdl.Ast.mname = p.Workloads.Profiles.name))
+    Workloads.Profiles.public_benchmarks
+
+let test_profile_lookup () =
+  check_bool "by_name hit" true (Workloads.Profiles.by_name "wb_dma" <> None);
+  check_bool "industrial hit" true
+    (Workloads.Profiles.by_name "ind_03" <> None);
+  check_bool "miss" true (Workloads.Profiles.by_name "nope" = None)
+
+let test_seqify_keeps_semantics_boundary () =
+  (* staging inserts dffs without breaking validity or driving conflicts *)
+  let p = { (small_profile 7) with Workloads.Profiles.register_fraction = 0 } in
+  let c = Workloads.Profiles.circuit p in
+  let before = Stats.of_circuit c in
+  Workloads.Seqify.insert_registers c ~seed:9 ~percent:50;
+  let after = Stats.of_circuit c in
+  check_bool "dffs inserted" true (after.Stats.dffs > before.Stats.dffs);
+  check_bool "still well-formed" true (Validate.is_well_formed c);
+  (* muxes are never staged *)
+  check_int "mux count unchanged" before.Stats.muxes after.Stats.muxes
+
+let test_industrial_is_mux_rich () =
+  let p = List.hd Workloads.Profiles.industrial_benchmarks in
+  let c = Workloads.Profiles.circuit p in
+  let st = Stats.of_circuit c in
+  (* selection circuits dominate: pmux cells present, mux_bits high *)
+  check_bool "has pmuxes" true (st.Stats.pmuxes > 0);
+  check_bool "mux-dominated" true
+    (st.Stats.mux_bits > (st.Stats.bitwise + st.Stats.arith) * 2)
+
+let test_pipeline_stage_infers_dffs () =
+  let p =
+    {
+      Workloads.Profiles.name = "pipe";
+      seed = 3;
+      style = `Chain;
+      repeat = 3;
+      mix = [ Workloads.Profiles.Pipeline_stage { width = 8 };
+              Workloads.Profiles.Datapath { width = 8; ops = 2 } ];
+      register_fraction = 0;
+    }
+  in
+  let c = Workloads.Profiles.circuit p in
+  let st = Stats.of_circuit c in
+  check_bool "dffs inferred through HDL" true (st.Stats.dffs >= 3);
+  check_bool "well-formed" true (Validate.is_well_formed c)
+
+let test_rng_properties () =
+  let r = Workloads.Rng.create ~seed:5 in
+  for _ = 1 to 100 do
+    let v = Workloads.Rng.range r 3 9 in
+    check_bool "in range" true (v >= 3 && v <= 9)
+  done;
+  let l = [ 1; 2; 3; 4; 5 ] in
+  let s = Workloads.Rng.shuffle r l in
+  check_int "shuffle keeps length" 5 (List.length s);
+  check_bool "shuffle keeps elements" true
+    (List.sort compare s = l);
+  check_int "sample size" 2 (List.length (Workloads.Rng.sample r 2 l))
+
+let prop_generated_circuits_well_formed =
+  QCheck.Test.make ~count:15 ~name:"generated circuits are well-formed"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let c = Workloads.Profiles.circuit (small_profile seed) in
+      Validate.is_well_formed c && Topo.is_acyclic c)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "valid circuits" `Quick test_circuits_valid;
+          Alcotest.test_case "public profiles parse" `Quick
+            test_all_public_profiles_parse;
+          Alcotest.test_case "profile lookup" `Quick test_profile_lookup;
+          Alcotest.test_case "seqify" `Quick test_seqify_keeps_semantics_boundary;
+          Alcotest.test_case "industrial mux-rich" `Quick
+            test_industrial_is_mux_rich;
+          Alcotest.test_case "pipeline stage" `Quick test_pipeline_stage_infers_dffs;
+          Alcotest.test_case "rng" `Quick test_rng_properties;
+          QCheck_alcotest.to_alcotest prop_generated_circuits_well_formed;
+        ] );
+    ]
