@@ -1,0 +1,27 @@
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+bench: build
+	dune exec bench/main.exe
+
+# What CI runs: build, the full test suite, then an end-to-end smoke of
+# the observability surface — optimize the fast mux_chain profile with
+# both a Chrome trace and a JSON stats report, and fail unless both
+# files parse (validate-json is the CLI's own strict parser, so no
+# external tooling is needed).
+ci: build
+	dune runtest
+	dune exec bin/smartly_cli.exe -- opt mux_chain --flow smartly \
+	  --json --trace /tmp/smartly_trace.json > /tmp/smartly_stats.json
+	dune exec bin/smartly_cli.exe -- validate-json \
+	  /tmp/smartly_stats.json /tmp/smartly_trace.json
+
+clean:
+	dune clean

@@ -8,9 +8,28 @@
      timing     — Bechamel micro-benchmarks of the passes
 
    Run with no arguments to regenerate everything the paper reports
-   (table2 table3 industrial figures); pass section names to select. *)
+   (table2 table3 industrial figures); pass section names to select.
+   With --json, each table section additionally writes a machine-readable
+   BENCH_<section>.json (areas, reductions, per-phase wall times). *)
 
 open Netlist
+
+let emit_json = ref false
+
+let write_json section (j : Obs.Json.t) =
+  if !emit_json then begin
+    let path = Printf.sprintf "BENCH_%s.json" section in
+    let oc = open_out path in
+    output_string oc (Obs.Json.to_string ~pretty:true j);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  r, Unix.gettimeofday () -. t0
 
 let check_equivalence ?(full_cec_limit = 9500) (orig : Circuit.t)
     (opt : Circuit.t) : string =
@@ -41,6 +60,11 @@ type case_result = {
   rebuild : int;
   full : int;
   equiv : string;
+  (* per-phase wall-clock seconds (flow only, AIG mapping excluded) *)
+  t_yosys : float;
+  t_sat : float;
+  t_rebuild : float;
+  t_full : float;
 }
 
 let reduction ~yosys v =
@@ -50,16 +74,56 @@ let reduction ~yosys v =
 let run_case (p : Workloads.Profiles.profile) : case_result =
   let c0 = Workloads.Profiles.circuit p in
   let orig = Aiger.Aigmap.aig_area c0 in
-  let cy = optimized `Yosys c0 in
+  let cy, t_yosys = timed (fun () -> optimized `Yosys c0) in
   let yosys = Aiger.Aigmap.aig_area cy in
-  let cs = optimized (`Smartly Smartly.Config.sat_only) c0 in
+  let cs, t_sat =
+    timed (fun () -> optimized (`Smartly Smartly.Config.sat_only) c0)
+  in
   let sat = Aiger.Aigmap.aig_area cs in
-  let cr = optimized (`Smartly Smartly.Config.rebuild_only) c0 in
+  let cr, t_rebuild =
+    timed (fun () -> optimized (`Smartly Smartly.Config.rebuild_only) c0)
+  in
   let rebuild = Aiger.Aigmap.aig_area cr in
-  let cf = optimized (`Smartly Smartly.Config.default) c0 in
+  let cf, t_full =
+    timed (fun () -> optimized (`Smartly Smartly.Config.default) c0)
+  in
   let full = Aiger.Aigmap.aig_area cf in
   let equiv = check_equivalence c0 cf in
-  { name = p.Workloads.Profiles.name; orig; yosys; sat; rebuild; full; equiv }
+  {
+    name = p.Workloads.Profiles.name;
+    orig;
+    yosys;
+    sat;
+    rebuild;
+    full;
+    equiv;
+    t_yosys;
+    t_sat;
+    t_rebuild;
+    t_full;
+  }
+
+let case_json (r : case_result) : Obs.Json.t =
+  let open Obs.Json in
+  Obj
+    [
+      "name", Str r.name;
+      "orig_area", num_of_int r.orig;
+      "yosys_area", num_of_int r.yosys;
+      "sat_area", num_of_int r.sat;
+      "rebuild_area", num_of_int r.rebuild;
+      "smartly_area", num_of_int r.full;
+      "reduction_pct", Num (reduction ~yosys:r.yosys r.full);
+      "equivalence", Str r.equiv;
+      ( "seconds",
+        Obj
+          [
+            "yosys", Num r.t_yosys;
+            "sat", Num r.t_sat;
+            "rebuild", Num r.t_rebuild;
+            "smartly", Num r.t_full;
+          ] );
+    ]
 
 let public_results =
   lazy (List.map run_case Workloads.Profiles.public_benchmarks)
@@ -83,6 +147,8 @@ let table2 () =
           string_of_int r.yosys;
           string_of_int r.full;
           Report.Table.pct (reduction ~yosys:r.yosys r.full);
+          Report.Table.secs r.t_yosys;
+          Report.Table.secs r.t_full;
           r.equiv;
         ])
       results
@@ -98,14 +164,24 @@ let table2 () =
       Printf.sprintf "%.1f" (avg (fun r -> float_of_int r.yosys));
       Printf.sprintf "%.1f" (avg (fun r -> float_of_int r.full));
       Report.Table.pct (avg (fun r -> reduction ~yosys:r.yosys r.full));
+      Report.Table.secs (avg (fun r -> r.t_yosys));
+      Report.Table.secs (avg (fun r -> r.t_full));
       "";
     ]
   in
   Report.Table.print
     ~columns:
       [ left "Case"; right "Original"; right "Yosys"; right "smaRTLy";
-        right "Ratio"; left "Equivalence" ]
+        right "Ratio"; right "t(Yosys)"; right "t(smaRTLy)";
+        left "Equivalence" ]
     ~rows:(rows @ [ avg_row ]);
+  write_json "table2"
+    (Obs.Json.Obj
+       [
+         "schema", Obs.Json.Str "smartly-bench-v1";
+         "section", Obs.Json.Str "table2";
+         "cases", Obs.Json.List (List.map case_json results);
+       ]);
   print_endline
     "(paper: avg extra reduction 8.95%; largest on case-heavy and\n\
      correlated-control designs, near zero on flat datapaths)"
@@ -125,6 +201,9 @@ let table3 () =
           Report.Table.pct (reduction ~yosys:r.yosys r.sat);
           Report.Table.pct (reduction ~yosys:r.yosys r.rebuild);
           Report.Table.pct (reduction ~yosys:r.yosys r.full);
+          Report.Table.secs r.t_sat;
+          Report.Table.secs r.t_rebuild;
+          Report.Table.secs r.t_full;
         ])
       results
   in
@@ -138,11 +217,23 @@ let table3 () =
       Report.Table.pct (avg (fun r -> reduction ~yosys:r.yosys r.sat));
       Report.Table.pct (avg (fun r -> reduction ~yosys:r.yosys r.rebuild));
       Report.Table.pct (avg (fun r -> reduction ~yosys:r.yosys r.full));
+      Report.Table.secs (avg (fun r -> r.t_sat));
+      Report.Table.secs (avg (fun r -> r.t_rebuild));
+      Report.Table.secs (avg (fun r -> r.t_full));
     ]
   in
   Report.Table.print
-    ~columns:[ left "Case"; right "SAT"; right "Rebuild"; right "Full" ]
+    ~columns:
+      [ left "Case"; right "SAT"; right "Rebuild"; right "Full";
+        right "t(SAT)"; right "t(Rebuild)"; right "t(Full)" ]
     ~rows:(rows @ [ avg_row ]);
+  write_json "table3"
+    (Obs.Json.Obj
+       [
+         "schema", Obs.Json.Str "smartly-bench-v1";
+         "section", Obs.Json.Str "table3";
+         "cases", Obs.Json.List (List.map case_json results);
+       ]);
   print_endline
     "(paper: SAT 3.57% / Rebuild 4.39% / Full 8.95% on average; which\n\
      method dominates varies per case, Full >= max(SAT, Rebuild))"
@@ -163,23 +254,27 @@ let industrial () =
       (fun p ->
         let c0 = Workloads.Profiles.circuit p in
         let orig = Aiger.Aigmap.aig_area c0 in
-        let cy = optimized `Yosys c0 in
+        let cy, t_yosys = timed (fun () -> optimized `Yosys c0) in
         let yosys = Aiger.Aigmap.aig_area cy in
-        let cf = optimized (`Smartly Smartly.Config.default) c0 in
+        let cf, t_full =
+          timed (fun () -> optimized (`Smartly Smartly.Config.default) c0)
+        in
         let full = Aiger.Aigmap.aig_area cf in
         let equiv = check_equivalence c0 cf in
-        p.Workloads.Profiles.name, orig, yosys, full, equiv)
+        p.Workloads.Profiles.name, orig, yosys, full, equiv, t_yosys, t_full)
       points
   in
   let rows =
     List.map
-      (fun (name, orig, yosys, full, equiv) ->
+      (fun (name, orig, yosys, full, equiv, t_yosys, t_full) ->
         [
           name;
           string_of_int orig;
           string_of_int yosys;
           string_of_int full;
           Report.Table.pct (reduction ~yosys full);
+          Report.Table.secs t_yosys;
+          Report.Table.secs t_full;
           equiv;
         ])
       results
@@ -187,11 +282,36 @@ let industrial () =
   Report.Table.print
     ~columns:
       [ left "Point"; right "Original"; right "Yosys"; right "smaRTLy";
-        right "Extra reduction"; left "Equivalence" ]
+        right "Extra reduction"; right "t(Yosys)"; right "t(smaRTLy)";
+        left "Equivalence" ]
     ~rows;
+  write_json "industrial"
+    (Obs.Json.Obj
+       [
+         "schema", Obs.Json.Str "smartly-bench-v1";
+         "section", Obs.Json.Str "industrial";
+         ( "cases",
+           Obs.Json.List
+             (List.map
+                (fun (name, orig, yosys, full, equiv, t_yosys, t_full) ->
+                  let open Obs.Json in
+                  Obj
+                    [
+                      "name", Str name;
+                      "orig_area", num_of_int orig;
+                      "yosys_area", num_of_int yosys;
+                      "smartly_area", num_of_int full;
+                      "reduction_pct", Num (reduction ~yosys full);
+                      "equivalence", Str equiv;
+                      ( "seconds",
+                        Obj
+                          [ "yosys", Num t_yosys; "smartly", Num t_full ] );
+                    ])
+                results) );
+       ]);
   let avg =
     List.fold_left
-      (fun acc (_, _, yosys, full, _) -> acc +. reduction ~yosys full)
+      (fun acc (_, _, yosys, full, _, _, _) -> acc +. reduction ~yosys full)
       0.0 results
     /. float_of_int (List.length results)
   in
@@ -419,7 +539,7 @@ let ablation () =
           name;
           string_of_int area;
           Report.Table.pct (reduction ~yosys area);
-          Printf.sprintf "%.2fs" dt;
+          Report.Table.secs dt;
         ])
       [
         "default (k=6)", base;
@@ -498,11 +618,21 @@ let timing () =
 (* --- main --- *)
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--json" then begin
+          emit_json := true;
+          false
+        end
+        else true)
+      args
+  in
   let sections =
-    match Array.to_list Sys.argv with
-    | _ :: [] -> [ "table2"; "table3"; "industrial"; "figures" ]
-    | _ :: rest -> rest
-    | [] -> []
+    match args with
+    | [] -> [ "table2"; "table3"; "industrial"; "figures" ]
+    | rest -> rest
   in
   List.iter
     (fun s ->

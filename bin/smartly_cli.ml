@@ -2,12 +2,19 @@
 
    smartly list                           list built-in workload profiles
    smartly generate NAME [-o FILE]        emit the profile's Verilog source
-   smartly stats SRC                      netlist statistics and AIG area
+   smartly stats SRC [--json]             netlist statistics and AIG area
    smartly opt SRC [--flow FLOW] [...]    optimize and report
    smartly cec A B                        combinational equivalence check
+   smartly validate-json FILE...          check files parse as JSON
 
    SRC is either a built-in profile name or a path to a Verilog file in the
-   supported subset. *)
+   supported subset.
+
+   Observability: [opt --trace FILE] writes a Chrome trace_event JSON of
+   the run (open in chrome://tracing or Perfetto); [opt --json] prints a
+   machine-readable stats report (per-pass wall time, SAT query/conflict
+   totals, area before/after) to stdout, moving the human summary to
+   stderr. *)
 
 open Cmdliner
 
@@ -68,6 +75,23 @@ let check_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print pass reports.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the run to FILE (open in \
+           chrome://tracing or Perfetto).")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print a machine-readable JSON report to stdout (human summary \
+           moves to stderr).")
+
 (* --- commands --- *)
 
 let list_cmd =
@@ -87,7 +111,11 @@ let list_cmd =
       (fun (p : Workloads.Profiles.profile) ->
         Printf.printf "  %-16s (seed %d)\n" p.Workloads.Profiles.name
           p.Workloads.Profiles.seed)
-      Workloads.Profiles.industrial_benchmarks
+      Workloads.Profiles.industrial_benchmarks;
+    print_endline "smoke profiles:";
+    Printf.printf "  %-16s (seed %d, fast; for CI and quick checks)\n"
+      Workloads.Profiles.mux_chain.Workloads.Profiles.name
+      Workloads.Profiles.mux_chain.Workloads.Profiles.seed
   in
   Cmd.v (Cmd.info "list" ~doc:"List built-in workload profiles.")
     Term.(const run $ const ())
@@ -123,57 +151,237 @@ let generate_cmd =
       $ out_arg)
 
 let stats_cmd =
-  let run src style =
+  let run src style json =
     let c = load_circuit ~style src in
     let st = Netlist.Stats.of_circuit c in
-    Fmt.pr "%a@." Netlist.Stats.pp st;
-    Printf.printf "logic depth: %d\n" (Netlist.Topo.logic_depth c);
-    Printf.printf "AIG area (FF excluded): %d\n" (Aiger.Aigmap.aig_area c)
+    let depth = Netlist.Topo.logic_depth c in
+    let area = Aiger.Aigmap.aig_area c in
+    if json then
+      let open Obs.Json in
+      print_endline
+        (to_string ~pretty:true
+           (Obj
+              [
+                "schema", Str "smartly-netlist-stats-v1";
+                "source", Str src;
+                ( "cells",
+                  Obj
+                    [
+                      "total", num_of_int st.Netlist.Stats.total;
+                      "muxes", num_of_int st.Netlist.Stats.muxes;
+                      "pmuxes", num_of_int st.Netlist.Stats.pmuxes;
+                      "eqs", num_of_int st.Netlist.Stats.eqs;
+                      "dffs", num_of_int st.Netlist.Stats.dffs;
+                      "logic", num_of_int st.Netlist.Stats.logic;
+                      "bitwise", num_of_int st.Netlist.Stats.bitwise;
+                      "arith", num_of_int st.Netlist.Stats.arith;
+                      "mux_bits", num_of_int st.Netlist.Stats.mux_bits;
+                    ] );
+                "wires", num_of_int st.Netlist.Stats.wires;
+                "logic_depth", num_of_int depth;
+                "aig_area", num_of_int area;
+              ]))
+    else begin
+      Fmt.pr "%a@." Netlist.Stats.pp st;
+      Printf.printf "logic depth: %d\n" depth;
+      Printf.printf "AIG area (FF excluded): %d\n" area
+    end
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print netlist statistics and the AIG area.")
-    Term.(const run $ src_arg $ style_arg)
+    Term.(const run $ src_arg $ style_arg $ json_arg)
+
+(* --- the optimization flows, one code path for every variant --- *)
+
+type outcome =
+  | O_none
+  | O_yosys of Rtl_opt.Flow.report
+  | O_smartly of Smartly.Driver.result
+
+let flow_name = function
+  | `None -> "none"
+  | `Yosys -> "yosys"
+  | `Smartly -> "smartly"
+  | `Sat -> "sat"
+  | `Rebuild -> "rebuild"
+
+let run_flow flow (c : Netlist.Circuit.t) : outcome =
+  match flow with
+  | `None -> O_none
+  | `Yosys -> O_yosys (Smartly.Driver.yosys c)
+  | (`Smartly | `Sat | `Rebuild) as f ->
+    let cfg =
+      match f with
+      | `Sat -> Smartly.Config.sat_only
+      | `Rebuild -> Smartly.Config.rebuild_only
+      | `Smartly -> Smartly.Config.default
+    in
+    O_smartly (Smartly.Driver.smartly ~cfg c)
+
+(* Every flow variant prints its pass reports here — `--verbose` behaves
+   the same whether the flow is none/yosys/sat/rebuild/smartly. *)
+let print_pass_reports ppf = function
+  | O_none -> ()
+  | O_yosys r -> Fmt.pf ppf "baseline: %a@." Rtl_opt.Flow.pp_report r
+  | O_smartly r ->
+    List.iter
+      (fun rr -> Fmt.pf ppf "sat_elim: %a@." Smartly.Sat_elim.pp_report rr)
+      r.Smartly.Driver.sat_reports;
+    List.iter
+      (fun rr -> Fmt.pf ppf "rebuild:  %a@." Smartly.Restructure.pp_report rr)
+      r.Smartly.Driver.rebuild_reports
+
+(* Sum the engine stats over every sat_elim sweep of the run. *)
+let engine_totals (o : outcome) : Smartly.Engine.stats =
+  let acc = Smartly.Engine.fresh_stats () in
+  (match o with
+  | O_none | O_yosys _ -> ()
+  | O_smartly r ->
+    List.iter
+      (fun (rr : Smartly.Sat_elim.report) ->
+        let e = rr.Smartly.Sat_elim.engine in
+        let open Smartly.Engine in
+        acc.rule_hits <- acc.rule_hits + e.rule_hits;
+        acc.sim_queries <- acc.sim_queries + e.sim_queries;
+        acc.sat_queries <- acc.sat_queries + e.sat_queries;
+        acc.forgone <- acc.forgone + e.forgone;
+        acc.subgraph_kept <- acc.subgraph_kept + e.subgraph_kept;
+        acc.subgraph_dropped <- acc.subgraph_dropped + e.subgraph_dropped;
+        acc.sat_conflicts <- acc.sat_conflicts + e.sat_conflicts;
+        acc.sat_decisions <- acc.sat_decisions + e.sat_decisions;
+        acc.sat_propagations <- acc.sat_propagations + e.sat_propagations)
+      r.Smartly.Driver.sat_reports);
+  acc
+
+let iterations_of = function
+  | O_none -> 0
+  | O_yosys r -> r.Rtl_opt.Flow.iterations
+  | O_smartly r -> r.Smartly.Driver.iterations
+
+(* Per-span-name wall-time totals from the recorded trace.  Durations are
+   inclusive (a driver.iteration span contains its passes). *)
+let span_totals (sink : Obs.Trace.sink) : (string * int * float) list =
+  let tbl : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Obs.Trace.event) ->
+      let calls, tot =
+        Option.value (Hashtbl.find_opt tbl e.Obs.Trace.name) ~default:(0, 0.0)
+      in
+      Hashtbl.replace tbl e.Obs.Trace.name
+        (calls + 1, tot +. e.Obs.Trace.dur_us))
+    (Obs.Trace.events sink);
+  Hashtbl.fold (fun name (calls, tot) acc -> (name, calls, tot) :: acc) tbl []
+  |> List.sort compare
+
+let stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink : Obs.Json.t
+    =
+  let open Obs.Json in
+  let e = engine_totals outcome in
+  let passes =
+    match sink with
+    | None -> []
+    | Some s ->
+      List.map
+        (fun (name, calls, total_us) ->
+          Obj
+            [
+              "name", Str name;
+              "calls", num_of_int calls;
+              "seconds", Num (total_us /. 1e6);
+            ])
+        (span_totals s)
+  in
+  Obj
+    [
+      "schema", Str "smartly-stats-v1";
+      "source", Str src;
+      "flow", Str (flow_name flow);
+      "area_before", num_of_int area0;
+      "area_after", num_of_int area1;
+      ( "reduction_pct",
+        Num
+          (if area0 = 0 then 0.0
+           else 100.0 *. (1.0 -. (float_of_int area1 /. float_of_int area0)))
+      );
+      "wall_seconds", Num dt;
+      "iterations", num_of_int (iterations_of outcome);
+      ( "sat",
+        Obj
+          [
+            "queries", num_of_int e.Smartly.Engine.sat_queries;
+            "conflicts", num_of_int e.Smartly.Engine.sat_conflicts;
+            "decisions", num_of_int e.Smartly.Engine.sat_decisions;
+            "propagations", num_of_int e.Smartly.Engine.sat_propagations;
+            "rule_hits", num_of_int e.Smartly.Engine.rule_hits;
+            "sim_queries", num_of_int e.Smartly.Engine.sim_queries;
+            "forgone", num_of_int e.Smartly.Engine.forgone;
+            "subgraph_kept", num_of_int e.Smartly.Engine.subgraph_kept;
+            "subgraph_dropped", num_of_int e.Smartly.Engine.subgraph_dropped;
+          ] );
+      "passes", List passes;
+      "metrics", Obs.Metrics.to_json ();
+    ]
 
 let opt_cmd =
-  let run src style flow check verbose =
+  let run src style flow check verbose trace json =
     let c = load_circuit ~style src in
     let orig = Netlist.Circuit.copy c in
+    (* spans feed both the --trace file and the per-pass times of the
+       --json report; with neither flag no sink is installed and tracing
+       costs nothing *)
+    let sink =
+      if trace <> None || json then begin
+        let s = Obs.Trace.make_sink () in
+        Obs.Trace.install s;
+        Some s
+      end
+      else None
+    in
+    Obs.Metrics.reset ();
     let area0 = Aiger.Aigmap.aig_area c in
     let t0 = Unix.gettimeofday () in
-    (match flow with
-    | `None -> ()
-    | `Yosys ->
-      let r = Smartly.Driver.yosys c in
-      if verbose then Fmt.pr "baseline: %a@." Rtl_opt.Flow.pp_report r
-    | `Smartly | `Sat | `Rebuild ->
-      let cfg =
-        match flow with
-        | `Sat -> Smartly.Config.sat_only
-        | `Rebuild -> Smartly.Config.rebuild_only
-        | `Smartly | `None | `Yosys -> Smartly.Config.default
-      in
-      let r = Smartly.Driver.smartly ~cfg c in
-      if verbose then begin
-        List.iter
-          (fun rr -> Fmt.pr "sat_elim: %a@." Smartly.Sat_elim.pp_report rr)
-          r.Smartly.Driver.sat_reports;
-        List.iter
-          (fun rr -> Fmt.pr "rebuild:  %a@." Smartly.Restructure.pp_report rr)
-          r.Smartly.Driver.rebuild_reports
-      end);
+    let outcome = run_flow flow c in
     let dt = Unix.gettimeofday () -. t0 in
     let area1 = Aiger.Aigmap.aig_area c in
-    Printf.printf "AIG area: %d -> %d (%.2f%% reduction) in %.2fs\n" area0
-      area1
-      (if area0 = 0 then 0.0
-       else 100.0 *. (1.0 -. (float_of_int area1 /. float_of_int area0)))
-      dt;
+    Obs.Trace.uninstall ();
+    (* a bad trace path must not lose the run's report: write after the
+       flow, catch the failure, and exit nonzero only at the end *)
+    let trace_error = ref None in
+    (match trace, sink with
+    | Some path, Some s -> (
+      try
+        Obs.Trace.write_chrome_json ~path s;
+        Printf.eprintf "trace: wrote %s (%d spans)\n%!" path
+          (Obs.Trace.event_count s)
+      with Sys_error msg -> trace_error := Some msg)
+    | _ -> ());
+    (* the summary goes to stderr under --json so stdout stays parseable *)
+    let human = if json then Format.err_formatter else Format.std_formatter in
+    if verbose then print_pass_reports human outcome;
+    let red =
+      if area0 = 0 then 0.0
+      else 100.0 *. (1.0 -. (float_of_int area1 /. float_of_int area0))
+    in
+    Fmt.pf human "%s: AIG area %d -> %d (%s reduction) in %s@."
+      (flow_name flow) area0 area1 (Report.Table.pct red)
+      (Report.Table.secs dt);
+    if json then
+      print_endline
+        (Obs.Json.to_string ~pretty:true
+           (stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink));
     if check then
-      Fmt.pr "equivalence: %a@." Equiv.pp_verdict (Equiv.check orig c)
+      Fmt.pf human "equivalence: %a@." Equiv.pp_verdict (Equiv.check orig c);
+    match !trace_error with
+    | None -> ()
+    | Some msg ->
+      Printf.eprintf "trace: cannot write: %s\n%!" msg;
+      exit 1
   in
   Cmd.v
     (Cmd.info "opt" ~doc:"Optimize a circuit and report the AIG area.")
-    Term.(const run $ src_arg $ style_arg $ flow_arg $ check_arg $ verbose_arg)
+    Term.(
+      const run $ src_arg $ style_arg $ flow_arg $ check_arg $ verbose_arg
+      $ trace_arg $ json_arg)
 
 let write_verilog_cmd =
   let out_arg =
@@ -223,13 +431,43 @@ let cec_cmd =
     (Cmd.info "cec" ~doc:"Combinational equivalence check of two circuits.")
     Term.(const run $ src_arg $ src2_arg $ style_arg)
 
+let validate_json_cmd =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"JSON files to check.")
+  in
+  let run files =
+    let ok = ref true in
+    List.iter
+      (fun path ->
+        if not (Sys.file_exists path) then begin
+          Printf.eprintf "%s: no such file\n" path;
+          ok := false
+        end
+        else
+          match Obs.Json.parse (read_file path) with
+          | Ok _ -> Printf.printf "%s: ok\n" path
+          | Error msg ->
+            Printf.eprintf "%s: invalid JSON (%s)\n" path msg;
+            ok := false)
+      files;
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate-json"
+       ~doc:
+         "Check that files parse as JSON; non-zero exit on failure.  Used \
+          by the CI smoke step on --json / --trace outputs.")
+    Term.(const run $ files_arg)
+
 let main_cmd =
   let doc = "smaRTLy: RTL muxtree optimization (DAC'25 reproduction)" in
   Cmd.group
     (Cmd.info "smartly" ~version:"1.0.0" ~doc)
     [
       list_cmd; generate_cmd; stats_cmd; opt_cmd; cec_cmd; dump_cmd;
-      write_verilog_cmd;
+      write_verilog_cmd; validate_json_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

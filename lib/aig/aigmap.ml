@@ -13,6 +13,7 @@ type mapping = {
 }
 
 let map (c : Circuit.t) : mapping =
+  Obs.Trace.with_span "aigmap.map" @@ fun () ->
   let g = Aig.create () in
   let env : Aig.lit Bits.Bit_tbl.t = Bits.Bit_tbl.create 256 in
   let lookup b =
@@ -155,4 +156,5 @@ let map (c : Circuit.t) : mapping =
   { aig = g; lit_of_bit = lookup }
 
 (* The paper's headline metric. *)
-let aig_area (c : Circuit.t) = Aig.area (map c).aig
+let aig_area (c : Circuit.t) =
+  Obs.Trace.with_span "aigmap.aig_area" @@ fun () -> Aig.area (map c).aig

@@ -13,41 +13,52 @@ type result = {
   rebuild_reports : Restructure.report list;
 }
 
-let yosys (c : Circuit.t) : Rtl_opt.Flow.report = Rtl_opt.Flow.baseline c
+let h_cells_delta = Obs.Metrics.histogram "driver.cells_removed_per_iter"
+let m_iterations = Obs.Metrics.counter "driver.iterations"
+
+let yosys (c : Circuit.t) : Rtl_opt.Flow.report =
+  Obs.Trace.with_span "driver.yosys" @@ fun () -> Rtl_opt.Flow.baseline c
 
 let smartly ?(cfg = Config.default) (c : Circuit.t) : result =
+  Obs.Trace.with_span "driver.smartly" @@ fun () ->
   let sat_reports = ref [] in
   let rebuild_reports = ref [] in
   let rec loop iter =
     if iter >= 6 then iter
     else begin
-      let e = Rtl_opt.Opt_expr.run c + Rtl_opt.Opt_merge.run c in
-      let sat_changed =
-        if cfg.Config.enable_sat then begin
-          let r = Sat_elim.run_once cfg c in
-          sat_reports := r :: !sat_reports;
-          Sat_elim.changed r
-        end
-        else false
+      let cells_before = Circuit.cell_count c in
+      let progress =
+        Obs.Trace.with_span "driver.iteration" @@ fun () ->
+        let e = Rtl_opt.Opt_expr.run c + Rtl_opt.Opt_merge.run c in
+        let sat_changed =
+          if cfg.Config.enable_sat then begin
+            let r = Sat_elim.run_once cfg c in
+            sat_reports := r :: !sat_reports;
+            Sat_elim.changed r
+          end
+          else false
+        in
+        let rebuild_changed =
+          if cfg.Config.enable_rebuild then begin
+            let r =
+              Restructure.run_once
+                ~single_ctrl:cfg.Config.rebuild_single_ctrl c
+            in
+            rebuild_reports := r :: !rebuild_reports;
+            Restructure.changed r
+          end
+          else false
+        in
+        let removed = Rtl_opt.Opt_clean.run c in
+        e > 0 || sat_changed || rebuild_changed || removed > 0
       in
-      let rebuild_changed =
-        if cfg.Config.enable_rebuild then begin
-          let r =
-            Restructure.run_once
-              ~single_ctrl:cfg.Config.rebuild_single_ctrl c
-          in
-          rebuild_reports := r :: !rebuild_reports;
-          Restructure.changed r
-        end
-        else false
-      in
-      let removed = Rtl_opt.Opt_clean.run c in
-      if e > 0 || sat_changed || rebuild_changed || removed > 0 then
-        loop (iter + 1)
-      else iter + 1
+      Obs.Metrics.observe_int h_cells_delta
+        (cells_before - Circuit.cell_count c);
+      if progress then loop (iter + 1) else iter + 1
     end
   in
   let iterations = loop 0 in
+  Obs.Metrics.add m_iterations iterations;
   {
     iterations;
     sat_reports = List.rev !sat_reports;

@@ -19,6 +19,9 @@ type stats = {
   mutable forgone : int;
   mutable subgraph_kept : int;
   mutable subgraph_dropped : int;
+  mutable sat_conflicts : int;
+  mutable sat_decisions : int;
+  mutable sat_propagations : int;
 }
 
 let fresh_stats () =
@@ -29,7 +32,23 @@ let fresh_stats () =
     forgone = 0;
     subgraph_kept = 0;
     subgraph_dropped = 0;
+    sat_conflicts = 0;
+    sat_decisions = 0;
+    sat_propagations = 0;
   }
+
+(* Global instruments; handles resolved once, bumped per query. *)
+let m_rule_hits = Obs.Metrics.counter "engine.rule_hits"
+let m_sim_queries = Obs.Metrics.counter "engine.sim_queries"
+let m_sat_queries = Obs.Metrics.counter "engine.sat_queries"
+let m_forgone = Obs.Metrics.counter "engine.forgone"
+let m_sat_conflicts = Obs.Metrics.counter "engine.sat_conflicts"
+let m_sat_decisions = Obs.Metrics.counter "engine.sat_decisions"
+let m_sat_propagations = Obs.Metrics.counter "engine.sat_propagations"
+let h_conflicts_per_query = Obs.Metrics.histogram "engine.conflicts_per_query"
+let h_subgraph_size = Obs.Metrics.histogram "engine.subgraph_cells"
+let m_subgraph_kept = Obs.Metrics.counter "subgraph.kept"
+let m_subgraph_dropped = Obs.Metrics.counter "subgraph.dropped"
 
 (* --- exhaustive simulation --- *)
 
@@ -112,7 +131,7 @@ let simulate_exhaustive (circuit : Circuit.t) (view : Subgraph.view)
 
 (* --- SAT --- *)
 
-let query_sat (circuit : Circuit.t) (view : Subgraph.view)
+let query_sat ?stats (circuit : Circuit.t) (view : Subgraph.view)
     (known : Inference.known) ~budget ~(target : Bits.bit) : verdict =
   let enc = Cdcl.Tseitin.create () in
   Cdcl.Tseitin.encode_cells enc circuit view.Subgraph.cells;
@@ -121,9 +140,21 @@ let query_sat (circuit : Circuit.t) (view : Subgraph.view)
       (fun b v acc -> Cdcl.Tseitin.assume_lit enc b v :: acc)
       known []
   in
-  match
-    Cdcl.Tseitin.query_forced ~budget enc ~assumptions ~target
-  with
+  let r = Cdcl.Tseitin.query_forced ~budget enc ~assumptions ~target in
+  let conflicts, decisions, propagations =
+    Cdcl.Solver.stats enc.Cdcl.Tseitin.solver
+  in
+  Obs.Metrics.add m_sat_conflicts conflicts;
+  Obs.Metrics.add m_sat_decisions decisions;
+  Obs.Metrics.add m_sat_propagations propagations;
+  Obs.Metrics.observe_int h_conflicts_per_query conflicts;
+  (match stats with
+  | Some s ->
+    s.sat_conflicts <- s.sat_conflicts + conflicts;
+    s.sat_decisions <- s.sat_decisions + decisions;
+    s.sat_propagations <- s.sat_propagations + propagations
+  | None -> ());
+  match r with
   | Cdcl.Tseitin.Forced v -> Forced v
   | Cdcl.Tseitin.Free -> Free
   | Cdcl.Tseitin.Undetermined -> Unknown
@@ -144,8 +175,10 @@ let determine (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
     let k = cfg.Config.distance_k in
     Subgraph.add_cone sg ~k target;
     Bits.Bit_tbl.iter (fun b _ -> Subgraph.add_cone sg ~k b) known;
+    Obs.Metrics.observe_int h_subgraph_size (Subgraph.size sg);
     if Subgraph.size sg > cfg.Config.max_subgraph_cells then begin
       stats.forgone <- stats.forgone + 1;
+      Obs.Metrics.incr m_forgone;
       Unknown
     end
     else begin
@@ -158,6 +191,8 @@ let determine (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
     in
     stats.subgraph_kept <- stats.subgraph_kept + view.Subgraph.kept;
     stats.subgraph_dropped <- stats.subgraph_dropped + view.Subgraph.dropped;
+    Obs.Metrics.add m_subgraph_kept view.Subgraph.kept;
+    Obs.Metrics.add m_subgraph_dropped view.Subgraph.dropped;
     (* target not even in the pruned sub-graph (neither computed by it nor
        one of its sources): no relation to knowns, nothing to infer from *)
     let target_inside =
@@ -182,6 +217,7 @@ let determine (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
       with
       | Some v ->
         stats.rule_hits <- stats.rule_hits + 1;
+        Obs.Metrics.incr m_rule_hits;
         Forced v
       | None ->
         let free_inputs =
@@ -192,15 +228,18 @@ let determine (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
         let n = List.length free_inputs in
         if n <= cfg.Config.sim_input_threshold then begin
           stats.sim_queries <- stats.sim_queries + 1;
+          Obs.Metrics.incr m_sim_queries;
           simulate_exhaustive circuit view local ~free_inputs ~target
         end
         else if n <= cfg.Config.sat_input_threshold then begin
           stats.sat_queries <- stats.sat_queries + 1;
-          query_sat circuit view local ~budget:cfg.Config.sat_conflict_budget
-            ~target
+          Obs.Metrics.incr m_sat_queries;
+          query_sat ~stats circuit view local
+            ~budget:cfg.Config.sat_conflict_budget ~target
         end
         else begin
           stats.forgone <- stats.forgone + 1;
+          Obs.Metrics.incr m_forgone;
           Unknown
         end
       | exception Inference.Contradiction -> Unreachable

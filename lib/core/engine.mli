@@ -20,6 +20,10 @@ type stats = {
   mutable forgone : int;
   mutable subgraph_kept : int;
   mutable subgraph_dropped : int;
+  mutable sat_conflicts : int;
+      (** solver conflicts accumulated over all SAT queries *)
+  mutable sat_decisions : int;
+  mutable sat_propagations : int;
 }
 
 val fresh_stats : unit -> stats
@@ -35,12 +39,16 @@ val simulate_exhaustive :
     an internal known value are discarded. *)
 
 val query_sat :
+  ?stats:stats ->
   Circuit.t ->
   Subgraph.view ->
   Inference.known ->
   budget:int ->
   target:Bits.bit ->
   verdict
+(** One Tseitin encoding + forced-value query.  When [stats] is given the
+    solver's conflict/decision/propagation totals are accumulated into it
+    (and into the global {!Obs.Metrics} registry). *)
 
 val determine :
   Config.t ->

@@ -280,7 +280,15 @@ let pp_report ppf r =
   Fmt.pf ppf "candidates=%d rebuilt=%d muxes %d->%d eq_removed=%d"
     r.candidates r.rebuilt r.muxes_before r.muxes_after r.eq_removed
 
+let m_candidates = Obs.Metrics.counter "restructure.candidates"
+let m_rebuilt = Obs.Metrics.counter "restructure.rebuilt"
+let m_eq_removed = Obs.Metrics.counter "restructure.eq_removed"
+let h_rows = Obs.Metrics.histogram "restructure.rows_per_tree"
+let h_chain_len = Obs.Metrics.histogram "restructure.old_muxes_per_tree"
+let h_height = Obs.Metrics.histogram "restructure.tree_height"
+
 let run_once ?(min_saving = 1) ?(single_ctrl = true) (c : Circuit.t) : report =
+  Obs.Trace.with_span "restructure.run_once" @@ fun () ->
   (* candidates are discovered once; each is re-flattened against the
      current circuit just before rebuilding, since rewiring one tree can
      refresh the data leaves of another *)
@@ -309,6 +317,9 @@ let run_once ?(min_saving = 1) ?(single_ctrl = true) (c : Circuit.t) : report =
       | None -> ()
       | Some flat ->
         let d = evaluate c deps.Muxtree.index flat in
+        Obs.Metrics.observe_int h_rows (List.length flat.Muxtree.rows);
+        Obs.Metrics.observe_int h_chain_len d.old_muxes;
+        Obs.Metrics.observe_int h_height d.height;
         muxes_before := !muxes_before + d.old_muxes;
         if d.saved_cost >= min_saving then begin
           rebuild c d;
@@ -319,6 +330,9 @@ let run_once ?(min_saving = 1) ?(single_ctrl = true) (c : Circuit.t) : report =
         end
         else muxes_after := !muxes_after + d.old_muxes)
     roots;
+  Obs.Metrics.add m_candidates (List.length roots);
+  Obs.Metrics.add m_rebuilt !rebuilt;
+  Obs.Metrics.add m_eq_removed !eq_removed;
   {
     candidates = List.length roots;
     rebuilt = !rebuilt;

@@ -24,11 +24,13 @@ type report = {
 let pp_report ppf r =
   Fmt.pf ppf
     "bypassed=%d data_folded=%d dead=%d rules=%d sim=%d sat=%d forgone=%d \
-     kept=%d dropped=%d"
+     kept=%d dropped=%d conflicts=%d decisions=%d props=%d"
     r.muxes_bypassed r.data_bits_folded r.dead_branches
     r.engine.Engine.rule_hits r.engine.Engine.sim_queries
     r.engine.Engine.sat_queries r.engine.Engine.forgone
     r.engine.Engine.subgraph_kept r.engine.Engine.subgraph_dropped
+    r.engine.Engine.sat_conflicts r.engine.Engine.sat_decisions
+    r.engine.Engine.sat_propagations
 
 type ctx = {
   cfg : Config.t;
@@ -237,7 +239,12 @@ let rec visit ctx visited known (id : int) =
     | Some (Cell.Unary _ | Cell.Binary _ | Cell.Dff _) -> ()
   end
 
+let m_bypassed = Obs.Metrics.counter "sat_elim.muxes_bypassed"
+let m_folded = Obs.Metrics.counter "sat_elim.data_bits_folded"
+let m_dead = Obs.Metrics.counter "sat_elim.dead_branches"
+
 let run_once (cfg : Config.t) (c : Circuit.t) : report =
+  Obs.Trace.with_span "sat_elim.run_once" @@ fun () ->
   let index = Index.build c in
   let ctx =
     {
@@ -260,6 +267,9 @@ let run_once (cfg : Config.t) (c : Circuit.t) : report =
       (Circuit.cell_ids c)
   in
   List.iter (fun id -> visit ctx visited (Bits.Bit_tbl.create 8) id) roots;
+  Obs.Metrics.add m_bypassed ctx.bypassed;
+  Obs.Metrics.add m_folded ctx.folded;
+  Obs.Metrics.add m_dead ctx.dead;
   {
     muxes_bypassed = ctx.bypassed;
     data_bits_folded = ctx.folded;

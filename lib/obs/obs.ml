@@ -1,0 +1,471 @@
+(* Telemetry: span tracing, a metrics registry, and the JSON both need.
+
+   The design constraint is the fast path: instrumented code lives on hot
+   loops (every Engine.determine call), so [Trace.with_span] must reduce to
+   a match on one global ref plus a direct call when no sink is installed,
+   and metric bumps must be single field mutations on pre-resolved
+   handles. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let num_of_int i = Num (float_of_int i)
+
+  (* --- writer --- *)
+
+  let escape_to buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  (* OCaml's Printf is locale-independent ('.' always), which is the whole
+     point: the output must parse the same everywhere.  Integral values
+     print without a fraction so counters stay integers downstream. *)
+  let num_to_string v =
+    if not (Float.is_finite v) then "null"
+    else if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else
+      (* shortest representation that parses back to the same double *)
+      let s = Printf.sprintf "%.15g" v in
+      if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+  let to_string ?(pretty = false) (j : t) : string =
+    let buf = Buffer.create 256 in
+    let indent n =
+      if pretty then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (2 * n) ' ')
+      end
+    in
+    let rec go depth = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Num v -> Buffer.add_string buf (num_to_string v)
+      | Str s -> escape_to buf s
+      | List [] -> Buffer.add_string buf "[]"
+      | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            indent (depth + 1);
+            go (depth + 1) item)
+          items;
+        indent depth;
+        Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            indent (depth + 1);
+            escape_to buf k;
+            Buffer.add_string buf (if pretty then ": " else ":");
+            go (depth + 1) v)
+          fields;
+        indent depth;
+        Buffer.add_char buf '}'
+    in
+    go 0 j;
+    Buffer.contents buf
+
+  (* --- parser --- *)
+
+  exception Bad of int * string
+
+  let parse (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let fail msg = raise (Bad (!pos, msg)) in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      let m = String.length word in
+      if !pos + m <= n && String.sub s !pos m = word then begin
+        pos := !pos + m;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+            incr pos;
+            if !pos >= n then fail "unterminated escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let hex = String.sub s (!pos + 1) 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* non-BMP surrogates are not emitted by our writer; encode
+                 the BMP code point as UTF-8 *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf
+                  (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end;
+              pos := !pos + 4
+            | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            incr pos;
+            go ()
+          | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = Some '-' then incr pos;
+      let digits () =
+        let d0 = !pos in
+        while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+          incr pos
+        done;
+        if !pos = d0 then fail "expected digit"
+      in
+      digits ();
+      if peek () = Some '.' then begin
+        incr pos;
+        digits ()
+      end;
+      (match peek () with
+      | Some ('e' | 'E') ->
+        incr pos;
+        (match peek () with
+        | Some ('+' | '-') -> incr pos
+        | _ -> ());
+        digits ()
+      | _ -> ());
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some v -> Num v
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              members ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected , or }"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              elements ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected , or ]"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad (p, msg) ->
+      Error (Printf.sprintf "at offset %d: %s" p msg)
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | Null | Bool _ | Num _ | Str _ | List _ -> None
+end
+
+module Trace = struct
+  type event = { name : string; ts_us : float; dur_us : float; depth : int }
+
+  type sink = {
+    epoch : float;  (* Unix.gettimeofday at creation *)
+    mutable recorded : event list;  (* completion order, reversed *)
+    mutable count : int;
+    mutable depth : int;
+  }
+
+  let make_sink () =
+    { epoch = Unix.gettimeofday (); recorded = []; count = 0; depth = 0 }
+
+  let current : sink option ref = ref None
+
+  let install s = current := Some s
+  let uninstall () = current := None
+  let enabled () = !current <> None
+
+  let record s name t0 =
+    let now = Unix.gettimeofday () in
+    s.depth <- s.depth - 1;
+    s.recorded <-
+      {
+        name;
+        ts_us = (t0 -. s.epoch) *. 1e6;
+        dur_us = (now -. t0) *. 1e6;
+        depth = s.depth;
+      }
+      :: s.recorded;
+    s.count <- s.count + 1
+
+  let with_span name f =
+    match !current with
+    | None -> f ()
+    | Some s ->
+      let t0 = Unix.gettimeofday () in
+      s.depth <- s.depth + 1;
+      let result =
+        try f ()
+        with e ->
+          record s name t0;
+          raise e
+      in
+      record s name t0;
+      result
+
+  let events s =
+    (* completion order reversed is end-time descending; for parents-first
+       (chronological by start) sort by ts, parents tie-break by depth *)
+    List.sort
+      (fun a b ->
+        match compare a.ts_us b.ts_us with
+        | 0 -> compare a.depth b.depth
+        | c -> c)
+      s.recorded
+
+  let event_count s = s.count
+
+  let to_chrome_json s : Json.t =
+    let evs =
+      List.map
+        (fun e ->
+          Json.Obj
+            [
+              "name", Json.Str e.name;
+              "cat", Json.Str "smartly";
+              "ph", Json.Str "X";
+              "ts", Json.Num e.ts_us;
+              "dur", Json.Num e.dur_us;
+              "pid", Json.Num 1.0;
+              "tid", Json.Num 1.0;
+              "args", Json.Obj [ "depth", Json.num_of_int e.depth ];
+            ])
+        (events s)
+    in
+    Json.Obj
+      [ "traceEvents", Json.List evs; "displayTimeUnit", Json.Str "ms" ]
+
+  let write_chrome_json ~path s =
+    let oc = open_out path in
+    output_string oc (Json.to_string ~pretty:true (to_chrome_json s));
+    output_char oc '\n';
+    close_out oc
+end
+
+module Metrics = struct
+  type counter = { cname : string; mutable count : int }
+
+  type histogram = {
+    hname : string;
+    mutable n : int;
+    mutable sum : float;
+    mutable min_seen : float;
+    mutable max_seen : float;
+  }
+
+  let counter_registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+  let histogram_registry : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+  let counter name =
+    match Hashtbl.find_opt counter_registry name with
+    | Some c -> c
+    | None ->
+      let c = { cname = name; count = 0 } in
+      Hashtbl.replace counter_registry name c;
+      c
+
+  let incr c = c.count <- c.count + 1
+  let add c n = c.count <- c.count + n
+  let value c = c.count
+
+  let histogram name =
+    match Hashtbl.find_opt histogram_registry name with
+    | Some h -> h
+    | None ->
+      let h =
+        { hname = name; n = 0; sum = 0.0; min_seen = 0.0; max_seen = 0.0 }
+      in
+      Hashtbl.replace histogram_registry name h;
+      h
+
+  let observe h v =
+    if h.n = 0 then begin
+      h.min_seen <- v;
+      h.max_seen <- v
+    end
+    else begin
+      if v < h.min_seen then h.min_seen <- v;
+      if v > h.max_seen then h.max_seen <- v
+    end;
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v
+
+  let observe_int h v = observe h (float_of_int v)
+
+  type histogram_stats = {
+    count : int;
+    sum : float;
+    min_v : float;
+    max_v : float;
+    mean : float;
+  }
+
+  let histogram_stats h =
+    {
+      count = h.n;
+      sum = h.sum;
+      min_v = h.min_seen;
+      max_v = h.max_seen;
+      mean = (if h.n = 0 then 0.0 else h.sum /. float_of_int h.n);
+    }
+
+  let counters () =
+    Hashtbl.fold
+      (fun name (c : counter) acc -> (name, c.count) :: acc)
+      counter_registry []
+    |> List.sort compare
+
+  let histograms () =
+    Hashtbl.fold
+      (fun name h acc -> (name, histogram_stats h) :: acc)
+      histogram_registry []
+    |> List.sort compare
+
+  let reset () =
+    Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) counter_registry;
+    Hashtbl.iter
+      (fun _ h ->
+        h.n <- 0;
+        h.sum <- 0.0;
+        h.min_seen <- 0.0;
+        h.max_seen <- 0.0)
+      histogram_registry
+
+  let to_json () : Json.t =
+    Json.Obj
+      [
+        ( "counters",
+          Json.Obj
+            (List.map (fun (k, v) -> k, Json.num_of_int v) (counters ())) );
+        ( "histograms",
+          Json.Obj
+            (List.map
+               (fun (k, (s : histogram_stats)) ->
+                 ( k,
+                   Json.Obj
+                     [
+                       "count", Json.num_of_int s.count;
+                       "sum", Json.Num s.sum;
+                       "min", Json.Num s.min_v;
+                       "max", Json.Num s.max_v;
+                       "mean", Json.Num s.mean;
+                     ] ))
+               (histograms ())) );
+      ]
+end

@@ -1,0 +1,125 @@
+(** Telemetry for the optimization flow: wall-clock span tracing, a
+    process-wide metrics registry, and the minimal JSON support both need.
+
+    Everything here is dependency-free (stdlib + unix for the clock) so any
+    layer of the system can be instrumented without dune cycles.  The
+    tracer is pay-for-what-you-use: with no sink installed,
+    {!Trace.with_span} is a direct call to the thunk and records nothing. *)
+
+(** Minimal JSON: a locale-stable writer and a strict parser.
+
+    The writer always uses ['.'] as the decimal separator and never emits
+    [NaN]/[inf] (they become [null]), so output is loadable by any JSON
+    consumer regardless of the process locale.  The parser exists so tests
+    and the CI smoke step can check well-formedness without external
+    tooling; it accepts exactly the JSON this module writes (objects,
+    arrays, strings with the standard escapes, numbers, booleans, null). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val num_of_int : int -> t
+
+  val to_string : ?pretty:bool -> t -> string
+  (** [pretty] inserts newlines and two-space indentation. *)
+
+  val parse : string -> (t, string) result
+  (** [Error msg] carries a position-annotated description. *)
+
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] on anything else. *)
+end
+
+(** Nested wall-clock spans with a single global sink.
+
+    A span is recorded when it {e completes} (exceptions included), with
+    its start timestamp, duration and nesting depth at entry.  Timestamps
+    are microseconds relative to the sink's creation, which is exactly the
+    [ts] convention of the Chrome [trace_event] format, so a recorded sink
+    exports directly to a file that [chrome://tracing] or Perfetto opens. *)
+module Trace : sig
+  type event = {
+    name : string;
+    ts_us : float;  (** start, microseconds since the sink was created *)
+    dur_us : float;
+    depth : int;  (** nesting depth at span entry; 0 = top level *)
+  }
+
+  type sink
+
+  val make_sink : unit -> sink
+
+  val install : sink -> unit
+  (** Subsequent {!with_span} calls record into this sink. *)
+
+  val uninstall : unit -> unit
+
+  val enabled : unit -> bool
+  (** [true] iff a sink is installed.  Use to guard construction of
+      dynamic span names, which would otherwise allocate on the fast
+      path. *)
+
+  val with_span : string -> (unit -> 'a) -> 'a
+  (** Run the thunk inside a named span.  With no sink installed this is
+      a direct call: no event is allocated or recorded. *)
+
+  val events : sink -> event list
+  (** In start order (parents before their children). *)
+
+  val event_count : sink -> int
+
+  val to_chrome_json : sink -> Json.t
+  (** [{"traceEvents": [...], "displayTimeUnit": "ms"}] with one complete
+      ("ph":"X") event per span. *)
+
+  val write_chrome_json : path:string -> sink -> unit
+end
+
+(** Process-wide named counters and histograms.
+
+    Handles are cheap records; [counter]/[histogram] get-or-create by
+    name, so modules may resolve their instruments once at toplevel and
+    bump them on hot paths with a single mutation.  {!reset} zeroes every
+    registered instrument in place (handles stay valid), which is how the
+    CLI and tests scope a measurement to one run. *)
+module Metrics : sig
+  type counter
+
+  val counter : string -> counter
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val value : counter -> int
+
+  type histogram
+
+  val histogram : string -> histogram
+  val observe : histogram -> float -> unit
+  val observe_int : histogram -> int -> unit
+
+  type histogram_stats = {
+    count : int;
+    sum : float;
+    min_v : float;  (** 0 when empty *)
+    max_v : float;  (** 0 when empty *)
+    mean : float;  (** 0 when empty *)
+  }
+
+  val histogram_stats : histogram -> histogram_stats
+
+  val counters : unit -> (string * int) list
+  (** Sorted by name. *)
+
+  val histograms : unit -> (string * histogram_stats) list
+  (** Sorted by name. *)
+
+  val reset : unit -> unit
+
+  val to_json : unit -> Json.t
+  (** [{"counters": {...}, "histograms": {name: {count, sum, min, max,
+      mean}}}]. *)
+end

@@ -14,6 +14,7 @@ let pp_report ppf r =
     r.expr_folded r.muxtree_changes r.cells_removed
 
 let baseline (c : Netlist.Circuit.t) : report =
+  Obs.Trace.with_span "flow.baseline" @@ fun () ->
   let expr_folded = ref 0 in
   let muxtree_changes = ref 0 in
   let cells_removed = ref 0 in

@@ -75,7 +75,10 @@ let remove_unused_wires (c : Circuit.t) : int =
     all_wires;
   !removed
 
+let m_removed = Obs.Metrics.counter "opt_clean.removed"
+
 let run (c : Circuit.t) : int =
+  Obs.Trace.with_span "opt_clean.run" @@ fun () ->
   let total = ref 0 in
   let rec fix () =
     let n = sweep_once c in
@@ -84,4 +87,5 @@ let run (c : Circuit.t) : int =
   in
   fix ();
   ignore (remove_unused_wires c);
+  Obs.Metrics.add m_removed !total;
   !total

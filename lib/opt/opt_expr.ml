@@ -121,8 +121,11 @@ let simplify_cell (c : Circuit.t) id (cell : Cell.t) : bool =
       | Some v -> replace_with v
       | None -> false))
 
+let m_folded = Obs.Metrics.counter "opt_expr.folded"
+
 (* Run to fixpoint; returns the number of removed cells. *)
 let run (c : Circuit.t) : int =
+  Obs.Trace.with_span "opt_expr.run" @@ fun () ->
   let total = ref 0 in
   let progress = ref true in
   while !progress do
@@ -138,4 +141,5 @@ let run (c : Circuit.t) : int =
         | None -> ())
       (Circuit.cell_ids c)
   done;
+  Obs.Metrics.add m_folded !total;
   !total

@@ -67,7 +67,10 @@ let run_once (c : Circuit.t) : int =
     (Circuit.cell_ids c);
   !merged
 
+let m_merged = Obs.Metrics.counter "opt_merge.merged"
+
 let run (c : Circuit.t) : int =
+  Obs.Trace.with_span "opt_merge.run" @@ fun () ->
   let total = ref 0 in
   let rec fix iter =
     if iter < 8 then begin
@@ -77,4 +80,5 @@ let run (c : Circuit.t) : int =
     end
   in
   fix 0;
+  Obs.Metrics.add m_merged !total;
   !total

@@ -255,7 +255,10 @@ let run_once (c : Circuit.t) : int * int =
 
 (* Iterate to fixpoint (with expression folding in between, the caller's
    flow takes care of interleaving opt_expr / opt_clean). *)
+let m_changes = Obs.Metrics.counter "opt_muxtree.changes"
+
 let run (c : Circuit.t) : int =
+  Obs.Trace.with_span "opt_muxtree.run" @@ fun () ->
   let total = ref 0 in
   let rec fix iter =
     if iter < 16 then begin
@@ -265,4 +268,5 @@ let run (c : Circuit.t) : int =
     end
   in
   fix 0;
+  Obs.Metrics.add m_changes !total;
   !total

@@ -84,7 +84,10 @@ let run_once (c : Circuit.t) : int =
     (Circuit.cell_ids c);
   !changed
 
+let m_changes = Obs.Metrics.counter "opt_reduce.changes"
+
 let run (c : Circuit.t) : int =
+  Obs.Trace.with_span "opt_reduce.run" @@ fun () ->
   let total = ref 0 in
   let rec fix iter =
     if iter < 8 then begin
@@ -94,4 +97,5 @@ let run (c : Circuit.t) : int =
     end
   in
   fix 0;
+  Obs.Metrics.add m_changes !total;
   !total

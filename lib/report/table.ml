@@ -53,6 +53,16 @@ let render ~columns ~(rows : string list list) : string =
 
 let print ~columns ~rows = print_string (render ~columns ~rows)
 
-(* formatting helpers *)
-let pct v = Printf.sprintf "%.2f%%" v
+(* Formatting helpers, shared by the bench harness and the CLI so numbers
+   render identically everywhere.  OCaml's Printf always uses '.' as the
+   decimal separator whatever the process locale, which these helpers rely
+   on; columns carrying them should use the default Right alignment. *)
+
+let pct v =
+  (* clamp negative zero so -0.00% never appears in reports *)
+  let v = if v = 0.0 then 0.0 else v in
+  Printf.sprintf "%.2f%%" v
+
+let secs v = Printf.sprintf "%.2fs" v
+
 let int_ v = string_of_int v

@@ -10,6 +10,10 @@ val render : columns:column list -> rows:string list list -> string
 val print : columns:column list -> rows:string list list -> unit
 
 val pct : float -> string
-(** ["12.34%"]. *)
+(** ["12.34%"]; locale-stable (always ['.']), negative zero normalized.
+    Render in a Right-aligned column. *)
+
+val secs : float -> string
+(** ["0.42s"]; locale-stable.  Render in a Right-aligned column. *)
 
 val int_ : int -> string

@@ -268,6 +268,26 @@ let public_benchmarks =
     usb_funct; ethernet; riscv; ac97_ctrl;
   ]
 
+(* A deliberately small, seconds-fast profile for smoke tests and CI: a
+   couple of case-statement muxtrees plus redundant nesting, so every pass
+   (baseline rules, SAT elimination, restructuring) has something to do.
+   Not part of [public_benchmarks] — the paper tables stay ten cases. *)
+let mux_chain =
+  {
+    name = "mux_chain";
+    seed = 2025;
+    style = `Chain;
+    repeat = 2;
+    mix =
+      [
+        Case { sel_width = 3; items = 7; width = 8; distinct = 3 };
+        Casez_priority { sel_width = 3; width = 8 };
+        Redundant_nest { width = 8 };
+        Correlated_ifs { depth = 2; width = 8 };
+      ];
+    register_fraction = 0;
+  }
+
 (* --- the industrial benchmark (Section IV-B) ---
 
    Higher proportion of MUX/PMUX "selection circuits", elaborated with the
@@ -298,4 +318,4 @@ let industrial_benchmarks = List.init 8 industrial_point
 let by_name name =
   List.find_opt
     (fun p -> p.name = name)
-    (public_benchmarks @ industrial_benchmarks)
+    (public_benchmarks @ industrial_benchmarks @ [ mux_chain ])

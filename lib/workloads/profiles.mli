@@ -49,6 +49,10 @@ val ethernet : profile
 val riscv : profile
 val ac97_ctrl : profile
 
+val mux_chain : profile
+(** A small seconds-fast smoke profile (CI, quick manual runs); not part
+    of {!public_benchmarks}. *)
+
 val public_benchmarks : profile list
 (** The ten IWLS-2005 / RISC-V stand-ins, Table II order. *)
 
