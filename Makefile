@@ -13,15 +13,29 @@ bench: build
 
 # What CI runs: build, the full test suite, then an end-to-end smoke of
 # the observability surface — optimize the fast mux_chain profile with
-# both a Chrome trace and a JSON stats report, and fail unless both
-# files parse (validate-json is the CLI's own strict parser, so no
-# external tooling is needed).
+# a Chrome trace, a JSON stats report, and a provenance log; aggregate
+# the log with `explain`; and fail unless every artifact parses
+# (validate-json is the CLI's own strict parser, so no external tooling
+# is needed).  A second run on riscv — the smallest profile whose
+# ladder reaches SAT — dumps its hardest queries and replays each one,
+# failing on any verdict mismatch.  The replay loop is guarded because
+# a profile resolved entirely by simulation dumps zero queries.
 ci: build
 	dune runtest
 	dune exec bin/smartly_cli.exe -- opt mux_chain --flow smartly \
-	  --json --trace /tmp/smartly_trace.json > /tmp/smartly_stats.json
+	  --json --trace /tmp/smartly_trace.json \
+	  --provenance /tmp/smartly_prov.jsonl \
+	  > /tmp/smartly_stats.json
+	dune exec bin/smartly_cli.exe -- explain /tmp/smartly_prov.jsonl
 	dune exec bin/smartly_cli.exe -- validate-json \
-	  /tmp/smartly_stats.json /tmp/smartly_trace.json
+	  /tmp/smartly_stats.json /tmp/smartly_trace.json /tmp/smartly_prov.jsonl
+	rm -rf /tmp/smartly_satq
+	dune exec bin/smartly_cli.exe -- opt riscv --flow smartly \
+	  --sat-dump /tmp/smartly_satq
+	for f in /tmp/smartly_satq/*.cnf; do \
+	  [ -e "$$f" ] || continue; \
+	  dune exec bin/smartly_cli.exe -- replay "$$f" || exit 1; \
+	done
 
 clean:
 	dune clean

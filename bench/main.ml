@@ -65,6 +65,10 @@ type case_result = {
   t_sat : float;
   t_rebuild : float;
   t_full : float;
+  (* SAT conflicts-per-query percentiles of the full-flow run *)
+  conf_p50 : float;
+  conf_p90 : float;
+  conf_max : float;
 }
 
 let reduction ~yosys v =
@@ -72,6 +76,11 @@ let reduction ~yosys v =
   else 100.0 *. (1.0 -. (float_of_int v /. float_of_int yosys))
 
 let run_case (p : Workloads.Profiles.profile) : case_result =
+  (* every case starts from zeroed instruments: without this, per-case
+     metrics (and the JSON derived from them) would accumulate across the
+     whole table run *)
+  Obs.Metrics.reset ();
+  Smartly.Engine.Sat_log.reset ();
   let c0 = Workloads.Profiles.circuit p in
   let orig = Aiger.Aigmap.aig_area c0 in
   let cy, t_yosys = timed (fun () -> optimized `Yosys c0) in
@@ -84,8 +93,16 @@ let run_case (p : Workloads.Profiles.profile) : case_result =
     timed (fun () -> optimized (`Smartly Smartly.Config.rebuild_only) c0)
   in
   let rebuild = Aiger.Aigmap.aig_area cr in
+  (* re-zero so the recorded query percentiles describe the full flow of
+     this case only, not the sat/rebuild variants above *)
+  Obs.Metrics.reset ();
+  Smartly.Engine.Sat_log.reset ();
   let cf, t_full =
     timed (fun () -> optimized (`Smartly Smartly.Config.default) c0)
+  in
+  let conf =
+    Obs.Metrics.histogram_stats
+      (Obs.Metrics.histogram "engine.conflicts_per_query")
   in
   let full = Aiger.Aigmap.aig_area cf in
   let equiv = check_equivalence c0 cf in
@@ -101,6 +118,9 @@ let run_case (p : Workloads.Profiles.profile) : case_result =
     t_sat;
     t_rebuild;
     t_full;
+    conf_p50 = conf.Obs.Metrics.p50;
+    conf_p90 = conf.Obs.Metrics.p90;
+    conf_max = conf.Obs.Metrics.max_v;
   }
 
 let case_json (r : case_result) : Obs.Json.t =
@@ -122,6 +142,13 @@ let case_json (r : case_result) : Obs.Json.t =
             "sat", Num r.t_sat;
             "rebuild", Num r.t_rebuild;
             "smartly", Num r.t_full;
+          ] );
+      ( "sat_conflicts_per_query",
+        Obj
+          [
+            "p50", Num r.conf_p50;
+            "p90", Num r.conf_p90;
+            "max", Num r.conf_max;
           ] );
     ]
 
@@ -204,6 +231,9 @@ let table3 () =
           Report.Table.secs r.t_sat;
           Report.Table.secs r.t_rebuild;
           Report.Table.secs r.t_full;
+          Printf.sprintf "%.0f" r.conf_p50;
+          Printf.sprintf "%.0f" r.conf_p90;
+          Printf.sprintf "%.0f" r.conf_max;
         ])
       results
   in
@@ -220,12 +250,16 @@ let table3 () =
       Report.Table.secs (avg (fun r -> r.t_sat));
       Report.Table.secs (avg (fun r -> r.t_rebuild));
       Report.Table.secs (avg (fun r -> r.t_full));
+      "";
+      "";
+      "";
     ]
   in
   Report.Table.print
     ~columns:
       [ left "Case"; right "SAT"; right "Rebuild"; right "Full";
-        right "t(SAT)"; right "t(Rebuild)"; right "t(Full)" ]
+        right "t(SAT)"; right "t(Rebuild)"; right "t(Full)";
+        right "cfl(p50)"; right "cfl(p90)"; right "cfl(max)" ]
     ~rows:(rows @ [ avg_row ]);
   write_json "table3"
     (Obs.Json.Obj
@@ -252,6 +286,8 @@ let industrial () =
   let results =
     List.map
       (fun p ->
+        Obs.Metrics.reset ();
+        Smartly.Engine.Sat_log.reset ();
         let c0 = Workloads.Profiles.circuit p in
         let orig = Aiger.Aigmap.aig_area c0 in
         let cy, t_yosys = timed (fun () -> optimized `Yosys c0) in

@@ -5,7 +5,9 @@
    smartly stats SRC [--json]             netlist statistics and AIG area
    smartly opt SRC [--flow FLOW] [...]    optimize and report
    smartly cec A B                        combinational equivalence check
-   smartly validate-json FILE...          check files parse as JSON
+   smartly explain FILE.jsonl             area-attribution from a provenance log
+   smartly replay FILE.cnf...             re-run captured SAT queries
+   smartly validate-json FILE...          check files parse as JSON (.jsonl per line)
 
    SRC is either a built-in profile name or a path to a Verilog file in the
    supported subset.
@@ -14,7 +16,10 @@
    the run (open in chrome://tracing or Perfetto); [opt --json] prints a
    machine-readable stats report (per-pass wall time, SAT query/conflict
    totals, area before/after) to stdout, moving the human summary to
-   stderr. *)
+   stderr; [opt --provenance FILE] writes one JSONL event per netlist
+   mutation, which [smartly explain] aggregates into a per-mechanism
+   area-attribution table; [opt --sat-dump DIR] writes the hardest SAT
+   queries as self-contained DIMACS files for [smartly replay]. *)
 
 open Cmdliner
 
@@ -91,6 +96,25 @@ let json_arg =
         ~doc:
           "Print a machine-readable JSON report to stdout (human summary \
            moves to stderr).")
+
+let provenance_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "provenance" ] ~docv:"FILE"
+        ~doc:
+          "Write the optimization provenance log (one JSON event per \
+           netlist mutation) to FILE; aggregate it with $(b,smartly \
+           explain).")
+
+let sat_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sat-dump" ] ~docv:"DIR"
+        ~doc:
+          "Write the hardest SAT queries of the run as self-contained \
+           DIMACS files under DIR; re-run them with $(b,smartly replay).")
 
 (* --- commands --- *)
 
@@ -273,8 +297,23 @@ let span_totals (sink : Obs.Trace.sink) : (string * int * float) list =
   Hashtbl.fold (fun name (calls, tot) acc -> (name, calls, tot) :: acc) tbl []
   |> List.sort compare
 
-let stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink : Obs.Json.t
-    =
+let m_flow_cells_removed = Obs.Metrics.counter "flow.cells_removed"
+
+(* p50/p90/max of a named histogram, [Null] when it has no observations. *)
+let histogram_percentiles_json name : Obs.Json.t =
+  let st = Obs.Metrics.histogram_stats (Obs.Metrics.histogram name) in
+  if st.Obs.Metrics.count = 0 then Obs.Json.Null
+  else
+    Obs.Json.Obj
+      [
+        "count", Obs.Json.num_of_int st.Obs.Metrics.count;
+        "p50", Obs.Json.Num st.Obs.Metrics.p50;
+        "p90", Obs.Json.Num st.Obs.Metrics.p90;
+        "max", Obs.Json.Num st.Obs.Metrics.max_v;
+      ]
+
+let stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink ~psink :
+    Obs.Json.t =
   let open Obs.Json in
   let e = engine_totals outcome in
   let passes =
@@ -318,12 +357,27 @@ let stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink : Obs.Json.t
             "subgraph_kept", num_of_int e.Smartly.Engine.subgraph_kept;
             "subgraph_dropped", num_of_int e.Smartly.Engine.subgraph_dropped;
           ] );
+      "cells_removed", num_of_int (Obs.Metrics.value m_flow_cells_removed);
+      ( "sat_percentiles",
+        Obj
+          [
+            ( "conflicts_per_query",
+              histogram_percentiles_json "engine.conflicts_per_query" );
+            ( "query_seconds",
+              histogram_percentiles_json "engine.sat_query_seconds" );
+            "subgraph_cells", histogram_percentiles_json "engine.subgraph_cells";
+          ] );
+      ( "provenance_summary",
+        match psink with
+        | Some s -> Obs.Provenance.summary_json (Obs.Provenance.events s)
+        | None -> Null );
+      "sat_queries", Smartly.Engine.Sat_log.to_json ();
       "passes", List passes;
       "metrics", Obs.Metrics.to_json ();
     ]
 
 let opt_cmd =
-  let run src style flow check verbose trace json =
+  let run src style flow check verbose trace json provenance sat_dump =
     let c = load_circuit ~style src in
     let orig = Netlist.Circuit.copy c in
     (* spans feed both the --trace file and the per-pass times of the
@@ -337,13 +391,25 @@ let opt_cmd =
       end
       else None
     in
+    (* the provenance sink feeds both the --provenance JSONL file and the
+       provenance_summary section of the --json report *)
+    let psink =
+      if provenance <> None || json then begin
+        let s = Obs.Provenance.make_sink () in
+        Obs.Provenance.install s;
+        Some s
+      end
+      else None
+    in
     Obs.Metrics.reset ();
+    Smartly.Engine.Sat_log.reset ();
     let area0 = Aiger.Aigmap.aig_area c in
     let t0 = Unix.gettimeofday () in
     let outcome = run_flow flow c in
     let dt = Unix.gettimeofday () -. t0 in
     let area1 = Aiger.Aigmap.aig_area c in
     Obs.Trace.uninstall ();
+    Obs.Provenance.uninstall ();
     (* a bad trace path must not lose the run's report: write after the
        flow, catch the failure, and exit nonzero only at the end *)
     let trace_error = ref None in
@@ -355,6 +421,24 @@ let opt_cmd =
           (Obs.Trace.event_count s)
       with Sys_error msg -> trace_error := Some msg)
     | _ -> ());
+    (match provenance, psink with
+    | Some path, Some s -> (
+      try
+        Obs.Provenance.write_jsonl ~path s;
+        Printf.eprintf "provenance: wrote %s (%d events)\n%!" path
+          (Obs.Provenance.count s)
+      with Sys_error msg -> trace_error := Some msg)
+    | _ -> ());
+    (match sat_dump with
+    | Some dir -> (
+      try
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        let paths = Smartly.Engine.Sat_log.dump ~dir in
+        Printf.eprintf "sat-dump: wrote %d queries to %s\n%!"
+          (List.length paths) dir
+      with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+        trace_error := Some msg)
+    | None -> ());
     (* the summary goes to stderr under --json so stdout stays parseable *)
     let human = if json then Format.err_formatter else Format.std_formatter in
     if verbose then print_pass_reports human outcome;
@@ -368,7 +452,8 @@ let opt_cmd =
     if json then
       print_endline
         (Obs.Json.to_string ~pretty:true
-           (stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink));
+           (stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink
+              ~psink));
     if check then
       Fmt.pf human "equivalence: %a@." Equiv.pp_verdict (Equiv.check orig c);
     match !trace_error with
@@ -381,7 +466,7 @@ let opt_cmd =
     (Cmd.info "opt" ~doc:"Optimize a circuit and report the AIG area.")
     Term.(
       const run $ src_arg $ style_arg $ flow_arg $ check_arg $ verbose_arg
-      $ trace_arg $ json_arg)
+      $ trace_arg $ json_arg $ provenance_arg $ sat_dump_arg)
 
 let write_verilog_cmd =
   let out_arg =
@@ -431,6 +516,145 @@ let cec_cmd =
     (Cmd.info "cec" ~doc:"Combinational equivalence check of two circuits.")
     Term.(const run $ src_arg $ src2_arg $ style_arg)
 
+let explain_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Provenance JSONL file written by $(b,opt --provenance).")
+  in
+  let run file json =
+    if not (Sys.file_exists file) then begin
+      Printf.eprintf "%s: no such file\n" file;
+      exit 1
+    end;
+    match Obs.Provenance.parse_jsonl (read_file file) with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+    | Ok evs ->
+      if json then
+        print_endline
+          (Obs.Json.to_string ~pretty:true (Obs.Provenance.summary_json evs))
+      else begin
+        let open Obs.Provenance in
+        let rows = attribute evs in
+        let cols =
+          Report.Table.
+            [
+              column "mechanism";
+              column ~align:Right "cells";
+              column ~align:Right "muxes";
+              column ~align:Right "consts";
+              column ~align:Right "trees";
+              column ~align:Right "dead";
+              column ~align:Right "area_saved";
+            ]
+        in
+        let row_of (a : attribution) =
+          [
+            a.mech;
+            Report.Table.int_ a.cells_removed;
+            Report.Table.int_ a.muxes_bypassed;
+            Report.Table.int_ a.consts_resolved;
+            Report.Table.int_ a.trees_rebuilt;
+            Report.Table.int_ a.dead_branches;
+            Report.Table.int_ a.area_saved;
+          ]
+        in
+        let tot f = List.fold_left (fun acc a -> acc + f a) 0 rows in
+        let total_row =
+          [
+            "total";
+            Report.Table.int_ (tot (fun a -> a.cells_removed));
+            Report.Table.int_ (tot (fun a -> a.muxes_bypassed));
+            Report.Table.int_ (tot (fun a -> a.consts_resolved));
+            Report.Table.int_ (tot (fun a -> a.trees_rebuilt));
+            Report.Table.int_ (tot (fun a -> a.dead_branches));
+            Report.Table.int_ (tot (fun a -> a.area_saved));
+          ]
+        in
+        Printf.printf "%d events\n" (List.length evs);
+        Report.Table.print ~columns:cols
+          ~rows:(List.map row_of rows @ [ total_row ])
+      end
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Aggregate a provenance log into a per-mechanism area-attribution \
+          table.")
+    Term.(const run $ file_arg $ json_arg)
+
+let replay_cmd =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"DIMACS files written by $(b,opt --sat-dump).")
+  in
+  (* the [solve=] field of the metadata comment a dumped query carries *)
+  let recorded_verdict comments =
+    let meta =
+      List.find_opt
+        (fun c -> String.length c > 0 && String.starts_with ~prefix:"smartly-sat-query" c)
+        comments
+    in
+    Option.bind meta (fun m ->
+        String.split_on_char ' ' m
+        |> List.find_map (fun tok ->
+               if String.starts_with ~prefix:"solve=" tok then
+                 Some (String.sub tok 6 (String.length tok - 6))
+               else None))
+  in
+  let run files =
+    let ok = ref true in
+    List.iter
+      (fun path ->
+        if not (Sys.file_exists path) then begin
+          Printf.eprintf "%s: no such file\n" path;
+          ok := false
+        end
+        else begin
+          let cnf, comments = Cdcl.Dimacs.parse_string_ext (read_file path) in
+          let s = Cdcl.Solver.create () in
+          for _ = 1 to cnf.Cdcl.Dimacs.num_vars do
+            ignore (Cdcl.Solver.new_var s)
+          done;
+          List.iter
+            (fun cl ->
+              Cdcl.Solver.add_clause s (List.map Cdcl.Lit.of_dimacs cl))
+            cnf.Cdcl.Dimacs.clauses;
+          let t0 = Unix.gettimeofday () in
+          let r = Cdcl.Solver.solve s in
+          let dt = Unix.gettimeofday () -. t0 in
+          let got = Smartly.Engine.Sat_log.solve_name r in
+          let conflicts, _, _ = Cdcl.Solver.stats s in
+          match recorded_verdict comments with
+          | Some exp when exp <> "UNKNOWN" ->
+            if got = exp then
+              Printf.printf "%s: %s (matches recorded) %d conflicts %s\n"
+                path got conflicts (Report.Table.secs dt)
+            else begin
+              Printf.eprintf "%s: MISMATCH got %s, recorded %s\n" path got
+                exp;
+              ok := false
+            end
+          | Some _ | None ->
+            Printf.printf "%s: %s (no recorded verdict) %d conflicts %s\n"
+              path got conflicts (Report.Table.secs dt)
+        end)
+      files;
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-solve captured SAT queries in isolation and check each \
+          result against the recorded verdict; non-zero exit on mismatch.")
+    Term.(const run $ files_arg)
+
 let validate_json_cmd =
   let files_arg =
     Arg.(
@@ -445,6 +669,23 @@ let validate_json_cmd =
           Printf.eprintf "%s: no such file\n" path;
           ok := false
         end
+        else if Filename.check_suffix path ".jsonl" then begin
+          (* JSONL: every non-blank line is its own JSON document *)
+          let lines = String.split_on_char '\n' (read_file path) in
+          let bad = ref None in
+          List.iteri
+            (fun i line ->
+              if !bad = None && String.trim line <> "" then
+                match Obs.Json.parse line with
+                | Ok _ -> ()
+                | Error msg -> bad := Some (i + 1, msg))
+            lines;
+          match !bad with
+          | None -> Printf.printf "%s: ok\n" path
+          | Some (ln, msg) ->
+            Printf.eprintf "%s: invalid JSONL at line %d (%s)\n" path ln msg;
+            ok := false
+        end
         else
           match Obs.Json.parse (read_file path) with
           | Ok _ -> Printf.printf "%s: ok\n" path
@@ -457,8 +698,9 @@ let validate_json_cmd =
   Cmd.v
     (Cmd.info "validate-json"
        ~doc:
-         "Check that files parse as JSON; non-zero exit on failure.  Used \
-          by the CI smoke step on --json / --trace outputs.")
+         "Check that files parse as JSON (or, for .jsonl files, that every \
+          line does); non-zero exit on failure.  Used by the CI smoke step \
+          on --json / --trace / --provenance outputs.")
     Term.(const run $ files_arg)
 
 let main_cmd =
@@ -467,7 +709,7 @@ let main_cmd =
     (Cmd.info "smartly" ~version:"1.0.0" ~doc)
     [
       list_cmd; generate_cmd; stats_cmd; opt_cmd; cec_cmd; dump_cmd;
-      write_verilog_cmd; validate_json_cmd;
+      write_verilog_cmd; explain_cmd; replay_cmd; validate_json_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -37,6 +37,141 @@ let fresh_stats () =
     sat_propagations = 0;
   }
 
+(* Which rung of the ladder produced a verdict — the provenance side of
+   {!determine_how}. *)
+type source =
+  | Via_lookup (* already known: identical-signal rule *)
+  | Via_rule of string (* inference rule family that derived the value *)
+  | Via_sim (* exhaustive bit-parallel simulation *)
+  | Via_sat of int (* SAT query, carrying the query id *)
+  | Via_forgone (* thresholds exceeded; verdict is Unknown *)
+
+let source_name = function
+  | Via_lookup -> "lookup"
+  | Via_rule r -> "rule:" ^ r
+  | Via_sim -> "sim"
+  | Via_sat id -> Printf.sprintf "sat:%d" id
+  | Via_forgone -> "forgone"
+
+(* Per-SAT-query telemetry with a bounded buffer of the hardest queries
+   (by conflicts), each carrying a self-contained DIMACS dump so it can be
+   re-run in isolation by [smartly replay].  Process-global, like the
+   metrics registry; [reset] scopes it to one run. *)
+module Sat_log = struct
+  type entry = {
+    id : int;
+    verdict : string; (* forced_true | forced_false | free | unknown *)
+    solve : Cdcl.Solver.result; (* result of the query's final solve *)
+    conflicts : int;
+    decisions : int;
+    propagations : int;
+    wall_s : float;
+    vars : int;
+    clauses : int;
+    dimacs : string; (* full instance incl. metadata comment line *)
+  }
+
+  let default_keep = 8
+  let keep = ref default_keep
+  let next_id = ref 0
+  let total = ref 0
+
+  (* hardest first, length <= !keep *)
+  let hardest_entries : entry list ref = ref []
+
+  let reset ?keep:(k = default_keep) () =
+    keep := k;
+    next_id := 0;
+    total := 0;
+    hardest_entries := []
+
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+
+  (* [dimacs] is a thunk so easy queries that don't make the buffer never
+     pay for rendering the instance. *)
+  let record ~id ~verdict ~solve ~conflicts ~decisions ~propagations
+      ~wall_s ~vars ~clauses ~(dimacs : unit -> string) =
+    incr total;
+    let admit =
+      !keep > 0
+      && (List.length !hardest_entries < !keep
+         ||
+         match List.rev !hardest_entries with
+         | weakest :: _ -> conflicts > weakest.conflicts
+         | [] -> true)
+    in
+    if admit then begin
+      let e =
+        {
+          id;
+          verdict;
+          solve;
+          conflicts;
+          decisions;
+          propagations;
+          wall_s;
+          vars;
+          clauses;
+          dimacs = dimacs ();
+        }
+      in
+      let merged =
+        List.stable_sort
+          (fun a b -> compare b.conflicts a.conflicts)
+          (e :: !hardest_entries)
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: tl -> x :: take (n - 1) tl
+      in
+      hardest_entries := take !keep merged
+    end
+
+  let hardest () = !hardest_entries
+  let query_count () = !total
+
+  let solve_name = function
+    | Cdcl.Solver.Sat -> "SAT"
+    | Cdcl.Solver.Unsat -> "UNSAT"
+    | Cdcl.Solver.Unknown -> "UNKNOWN"
+
+  let entry_json (e : entry) : Obs.Json.t =
+    Obs.Json.Obj
+      [
+        ("id", Obs.Json.num_of_int e.id);
+        ("verdict", Obs.Json.Str e.verdict);
+        ("solve", Obs.Json.Str (solve_name e.solve));
+        ("conflicts", Obs.Json.num_of_int e.conflicts);
+        ("decisions", Obs.Json.num_of_int e.decisions);
+        ("propagations", Obs.Json.num_of_int e.propagations);
+        ("wall_seconds", Obs.Json.Num e.wall_s);
+        ("vars", Obs.Json.num_of_int e.vars);
+        ("clauses", Obs.Json.num_of_int e.clauses);
+      ]
+
+  let to_json () : Obs.Json.t =
+    Obs.Json.Obj
+      [
+        ("total", Obs.Json.num_of_int !total);
+        ("hardest", Obs.Json.List (List.map entry_json !hardest_entries));
+      ]
+
+  (* One file per hardest query, named by query id. *)
+  let dump ~dir =
+    List.map
+      (fun e ->
+        let path = Filename.concat dir (Printf.sprintf "query_%04d.cnf" e.id) in
+        let oc = open_out path in
+        output_string oc e.dimacs;
+        close_out oc;
+        path)
+      (List.rev !hardest_entries)
+end
+
 (* Global instruments; handles resolved once, bumped per query. *)
 let m_rule_hits = Obs.Metrics.counter "engine.rule_hits"
 let m_sim_queries = Obs.Metrics.counter "engine.sim_queries"
@@ -46,6 +181,7 @@ let m_sat_conflicts = Obs.Metrics.counter "engine.sat_conflicts"
 let m_sat_decisions = Obs.Metrics.counter "engine.sat_decisions"
 let m_sat_propagations = Obs.Metrics.counter "engine.sat_propagations"
 let h_conflicts_per_query = Obs.Metrics.histogram "engine.conflicts_per_query"
+let h_sat_query_seconds = Obs.Metrics.histogram "engine.sat_query_seconds"
 let h_subgraph_size = Obs.Metrics.histogram "engine.subgraph_cells"
 let m_subgraph_kept = Obs.Metrics.counter "subgraph.kept"
 let m_subgraph_dropped = Obs.Metrics.counter "subgraph.dropped"
@@ -131,8 +267,17 @@ let simulate_exhaustive (circuit : Circuit.t) (view : Subgraph.view)
 
 (* --- SAT --- *)
 
-let query_sat ?stats (circuit : Circuit.t) (view : Subgraph.view)
-    (known : Inference.known) ~budget ~(target : Bits.bit) : verdict =
+let verdict_query_name = function
+  | Cdcl.Tseitin.Forced true -> "forced_true"
+  | Cdcl.Tseitin.Forced false -> "forced_false"
+  | Cdcl.Tseitin.Free -> "free"
+  | Cdcl.Tseitin.Undetermined -> "unknown"
+
+(* Encode, query, and log one SAT query; returns the verdict and the
+   query id assigned to it. *)
+let query_sat_how ?stats (circuit : Circuit.t) (view : Subgraph.view)
+    (known : Inference.known) ~budget ~(target : Bits.bit) : verdict * int =
+  let qid = Sat_log.fresh_id () in
   let enc = Cdcl.Tseitin.create () in
   Cdcl.Tseitin.encode_cells enc circuit view.Subgraph.cells;
   let assumptions =
@@ -140,7 +285,11 @@ let query_sat ?stats (circuit : Circuit.t) (view : Subgraph.view)
       (fun b v acc -> Cdcl.Tseitin.assume_lit enc b v :: acc)
       known []
   in
-  let r = Cdcl.Tseitin.query_forced ~budget enc ~assumptions ~target in
+  let t0 = Unix.gettimeofday () in
+  let r, info = Cdcl.Tseitin.query_forced_info ~budget enc ~assumptions ~target in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (* the encoder's solver is fresh per query, so its lifetime totals are
+     exactly this query's cost (both polarity solves) *)
   let conflicts, decisions, propagations =
     Cdcl.Solver.stats enc.Cdcl.Tseitin.solver
   in
@@ -148,16 +297,45 @@ let query_sat ?stats (circuit : Circuit.t) (view : Subgraph.view)
   Obs.Metrics.add m_sat_decisions decisions;
   Obs.Metrics.add m_sat_propagations propagations;
   Obs.Metrics.observe_int h_conflicts_per_query conflicts;
+  Obs.Metrics.observe h_sat_query_seconds wall_s;
   (match stats with
   | Some s ->
     s.sat_conflicts <- s.sat_conflicts + conflicts;
     s.sat_decisions <- s.sat_decisions + decisions;
     s.sat_propagations <- s.sat_propagations + propagations
   | None -> ());
-  match r with
-  | Cdcl.Tseitin.Forced v -> Forced v
-  | Cdcl.Tseitin.Free -> Free
-  | Cdcl.Tseitin.Undetermined -> Unknown
+  let vars = Cdcl.Solver.num_vars enc.Cdcl.Tseitin.solver in
+  let clauses = Cdcl.Solver.num_clauses enc.Cdcl.Tseitin.solver in
+  let dimacs () =
+    (* self-contained instance: encoding + assumptions and the final
+       target polarity as unit clauses, so a plain solve of the file must
+       reproduce [info.last_result] *)
+    let extra =
+      List.map (fun l -> [ l ]) assumptions
+      @ [ [ info.Cdcl.Tseitin.last_target_lit ] ]
+    in
+    let cnf = Cdcl.Tseitin.to_dimacs enc ~extra in
+    let meta =
+      Printf.sprintf
+        "smartly-sat-query id=%d verdict=%s solve=%s conflicts=%d \
+         decisions=%d propagations=%d wall_us=%.0f"
+        qid (verdict_query_name r)
+        (Sat_log.solve_name info.Cdcl.Tseitin.last_result)
+        conflicts decisions propagations (wall_s *. 1e6)
+    in
+    Cdcl.Dimacs.to_string ~comments:[ meta ] cnf
+  in
+  Sat_log.record ~id:qid ~verdict:(verdict_query_name r)
+    ~solve:info.Cdcl.Tseitin.last_result ~conflicts ~decisions ~propagations
+    ~wall_s ~vars ~clauses ~dimacs;
+  ( (match r with
+    | Cdcl.Tseitin.Forced v -> Forced v
+    | Cdcl.Tseitin.Free -> Free
+    | Cdcl.Tseitin.Undetermined -> Unknown),
+    qid )
+
+let query_sat ?stats circuit view known ~budget ~target : verdict =
+  fst (query_sat_how ?stats circuit view known ~budget ~target)
 
 (* --- the combined engine --- *)
 
@@ -165,11 +343,11 @@ let query_sat ?stats (circuit : Circuit.t) (view : Subgraph.view)
    from the distance-k cones of the target and of every known signal (the
    only gates Theorem II.1 allows to matter), then pruned.  [known] is
    copied; the caller's map is never polluted by inferred values. *)
-let determine (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
+let determine_how (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
     (index : Index.t) (known : Inference.known) ~(target : Bits.bit) :
-    verdict =
+    verdict * source =
   match Inference.read known target with
-  | Some v -> Forced v (* identical-signal case, free *)
+  | Some v -> (Forced v, Via_lookup) (* identical-signal case, free *)
   | None ->
     let sg = Subgraph.create circuit index in
     let k = cfg.Config.distance_k in
@@ -179,7 +357,7 @@ let determine (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
     if Subgraph.size sg > cfg.Config.max_subgraph_cells then begin
       stats.forgone <- stats.forgone + 1;
       Obs.Metrics.incr m_forgone;
-      Unknown
+      (Unknown, Via_forgone)
     end
     else begin
     let relevant =
@@ -203,13 +381,14 @@ let determine (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
                (Cell.output_bits (Circuit.cell circuit id)))
            view.Subgraph.cells
     in
-    if not target_inside then Unknown
+    if not target_inside then (Unknown, Via_forgone)
     else begin
       let local = Bits.Bit_tbl.copy known in
+      let track = Bits.Bit_tbl.create 16 in
       match
         if cfg.Config.enable_inference_rules then begin
           let _sweeps =
-            Inference.propagate circuit local view.Subgraph.cells
+            Inference.propagate ~track circuit local view.Subgraph.cells
           in
           Inference.read local target
         end
@@ -218,7 +397,12 @@ let determine (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
       | Some v ->
         stats.rule_hits <- stats.rule_hits + 1;
         Obs.Metrics.incr m_rule_hits;
-        Forced v
+        let rule =
+          match Bits.Bit_tbl.find_opt track target with
+          | Some r -> r
+          | None -> "rule"
+        in
+        (Forced v, Via_rule rule)
       | None ->
         let free_inputs =
           List.filter
@@ -229,19 +413,25 @@ let determine (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
         if n <= cfg.Config.sim_input_threshold then begin
           stats.sim_queries <- stats.sim_queries + 1;
           Obs.Metrics.incr m_sim_queries;
-          simulate_exhaustive circuit view local ~free_inputs ~target
+          (simulate_exhaustive circuit view local ~free_inputs ~target, Via_sim)
         end
         else if n <= cfg.Config.sat_input_threshold then begin
           stats.sat_queries <- stats.sat_queries + 1;
           Obs.Metrics.incr m_sat_queries;
-          query_sat ~stats circuit view local
-            ~budget:cfg.Config.sat_conflict_budget ~target
+          let v, qid =
+            query_sat_how ~stats circuit view local
+              ~budget:cfg.Config.sat_conflict_budget ~target
+          in
+          (v, Via_sat qid)
         end
         else begin
           stats.forgone <- stats.forgone + 1;
           Obs.Metrics.incr m_forgone;
-          Unknown
+          (Unknown, Via_forgone)
         end
-      | exception Inference.Contradiction -> Unreachable
+      | exception Inference.Contradiction -> (Unreachable, Via_rule "contradiction")
     end
     end
+
+let determine cfg stats circuit index known ~target : verdict =
+  fst (determine_how cfg stats circuit index known ~target)

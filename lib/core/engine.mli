@@ -28,6 +28,60 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
+(** Which rung of the ladder produced a verdict — the provenance half of
+    {!determine_how}. *)
+type source =
+  | Via_lookup  (** already known: the identical-signal rule *)
+  | Via_rule of string  (** inference rule family that derived the value *)
+  | Via_sim  (** exhaustive bit-parallel simulation *)
+  | Via_sat of int  (** SAT query, carrying the query id *)
+  | Via_forgone  (** thresholds exceeded; verdict is [Unknown] *)
+
+val source_name : source -> string
+(** ["lookup"], ["rule:or"], ["sim"], ["sat:42"], ["forgone"]. *)
+
+(** Per-SAT-query telemetry and a bounded buffer of the hardest queries
+    (by conflicts), each with a self-contained DIMACS dump replayable by
+    [smartly replay].  Process-global like the metrics registry; call
+    {!Sat_log.reset} to scope it to one run. *)
+module Sat_log : sig
+  type entry = {
+    id : int;  (** query id, 0-based per {!reset} *)
+    verdict : string;
+        (** [forced_true | forced_false | free | unknown] *)
+    solve : Cdcl.Solver.result;  (** result of the query's final solve *)
+    conflicts : int;  (** over both polarity solves *)
+    decisions : int;
+    propagations : int;
+    wall_s : float;
+    vars : int;
+    clauses : int;
+    dimacs : string;
+        (** full DIMACS text, metadata comment line included *)
+  }
+
+  val reset : ?keep:int -> unit -> unit
+  (** Clear the log and restart query ids; [keep] (default 8) bounds the
+      hardest-query buffer. *)
+
+  val hardest : unit -> entry list
+  (** Hardest first. *)
+
+  val query_count : unit -> int
+  (** Total queries recorded since {!reset}. *)
+
+  val solve_name : Cdcl.Solver.result -> string
+  (** ["SAT" | "UNSAT" | "UNKNOWN"] — matches the [solve=] field of the
+      DIMACS metadata comment. *)
+
+  val to_json : unit -> Obs.Json.t
+  (** [{"total", "hardest": [...]}] — the [sat_queries] report section. *)
+
+  val dump : dir:string -> string list
+  (** Write each hardest query as [query_NNNN.cnf] under [dir]; returns
+      the paths written (easiest first). *)
+end
+
 val simulate_exhaustive :
   Circuit.t ->
   Subgraph.view ->
@@ -50,6 +104,16 @@ val query_sat :
     solver's conflict/decision/propagation totals are accumulated into it
     (and into the global {!Obs.Metrics} registry). *)
 
+val query_sat_how :
+  ?stats:stats ->
+  Circuit.t ->
+  Subgraph.view ->
+  Inference.known ->
+  budget:int ->
+  target:Bits.bit ->
+  verdict * int
+(** Like {!query_sat}, also returning the {!Sat_log} query id. *)
+
 val determine :
   Config.t ->
   stats ->
@@ -61,3 +125,13 @@ val determine :
 (** Build the bounded sub-graph from the cones of the target and the known
     signals, prune it (Theorem II.1), and run the ladder.  The caller's
     known map is never polluted with inferred values. *)
+
+val determine_how :
+  Config.t ->
+  stats ->
+  Circuit.t ->
+  Index.t ->
+  Inference.known ->
+  target:Bits.bit ->
+  verdict * source
+(** {!determine}, also reporting which ladder rung resolved the query. *)

@@ -12,6 +12,22 @@ exception Contradiction
 
 type known = bool Bits.Bit_tbl.t
 
+(* Optional rule attribution: when a track table is installed, every fact
+   newly derived by [set] is tagged with the rule family of the cell being
+   stepped (e.g. "or", "eq", "mux").  A global pair of refs rather than
+   threading through every helper: [set]/[link] are called from a dozen
+   sites inside [step] which have no cell context of their own. *)
+let track_tbl : string Bits.Bit_tbl.t option ref = ref None
+let track_rule = ref "seed"
+
+let rule_name (cell : Cell.t) =
+  match cell with
+  | Cell.Unary { op; _ } -> Cell.unary_op_name op
+  | Cell.Binary { op; _ } -> Cell.binary_op_name op
+  | Cell.Mux _ -> "mux"
+  | Cell.Pmux _ -> "pmux"
+  | Cell.Dff _ -> "dff"
+
 let read (k : known) (b : Bits.bit) : bool option =
   match b with
   | Bits.C0 -> Some false
@@ -30,6 +46,9 @@ let set (k : known) (b : Bits.bit) (v : bool) : bool =
     | Some old -> if old <> v then raise Contradiction else false
     | None ->
       Bits.Bit_tbl.replace k b v;
+      (match !track_tbl with
+      | Some t -> Bits.Bit_tbl.replace t b !track_rule
+      | None -> ());
       true)
 
 (* link two bits as equal (resp. opposite); returns true on progress *)
@@ -348,7 +367,8 @@ let step (k : known) (cell : Cell.t) : bool =
 (* Propagate to fixpoint over [cells] (any order; we sweep repeatedly).
    Returns the number of sweeps; raises [Contradiction] when the known
    values are inconsistent. *)
-let propagate (circuit : Circuit.t) (k : known) (cells : int list) : int =
+let propagate ?track (circuit : Circuit.t) (k : known) (cells : int list) :
+    int =
   let rec loop sweeps =
     if sweeps > 64 then sweeps
     else begin
@@ -356,10 +376,17 @@ let propagate (circuit : Circuit.t) (k : known) (cells : int list) : int =
       List.iter
         (fun id ->
           match Circuit.cell_opt circuit id with
-          | Some cell -> if step k cell then progress := true
+          | Some cell ->
+            if !track_tbl <> None then track_rule := rule_name cell;
+            if step k cell then progress := true
           | None -> ())
         cells;
       if !progress then loop (sweeps + 1) else sweeps
     end
   in
-  loop 0
+  match track with
+  | None -> loop 0
+  | Some t ->
+    track_tbl := Some t;
+    (* Contradiction must not leave the recorder installed *)
+    Fun.protect ~finally:(fun () -> track_tbl := None) (fun () -> loop 0)

@@ -19,6 +19,10 @@ val set : known -> Bits.bit -> bool -> bool
 val step : known -> Cell.t -> bool
 (** One propagation step through a cell; [true] on progress. *)
 
-val propagate : Circuit.t -> known -> int list -> int
-(** Sweep the given cells to fixpoint; returns the sweep count.
+val propagate : ?track:string Bits.Bit_tbl.t -> Circuit.t -> known -> int list -> int
+(** Sweep the given cells to fixpoint; returns the sweep count.  When
+    [track] is given, every bit whose value is newly derived during the
+    sweep is mapped to the rule family (the cell kind, e.g. ["or"] or
+    ["mux"]) that derived it — the raw material for provenance rule
+    attribution.
     @raise Contradiction when the facts are inconsistent. *)

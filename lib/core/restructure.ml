@@ -227,6 +227,8 @@ let evaluate (c : Circuit.t) (index : Index.t) (flat : Muxtree.flat) :
 
 (* --- rebuild --- *)
 
+let m_cells_removed = Obs.Metrics.counter "flow.cells_removed"
+
 (* Terminal sigspecs are captured before rewiring. *)
 let rebuild (c : Circuit.t) (d : decision) =
   let flat = d.flat in
@@ -264,6 +266,14 @@ let rebuild (c : Circuit.t) (d : decision) =
   let old_root_cell = Circuit.cell c flat.Muxtree.root in
   let old_y = Cell.output old_root_cell in
   Circuit.remove_cell c flat.Muxtree.root;
+  Obs.Metrics.incr m_cells_removed;
+  Obs.Provenance.emit ~kind:Obs.Provenance.Tree_rebuilt
+    ~cell:flat.Muxtree.root ~pass:"restructure"
+    ~mechanism:Obs.Provenance.Restructure
+    ~bits:flat.Muxtree.width ~area_delta:(-d.saved_cost) ();
+  Obs.Provenance.emit ~kind:Obs.Provenance.Cell_removed
+    ~cell:flat.Muxtree.root ~pass:"restructure"
+    ~mechanism:Obs.Provenance.Restructure ();
   Rewire.replace_sig c ~from_:old_y ~to_:new_out
 
 (* --- the pass --- *)

@@ -47,6 +47,16 @@ let is_mux = function
   | Cell.Mux _ | Cell.Pmux _ -> true
   | Cell.Unary _ | Cell.Binary _ | Cell.Dff _ -> false
 
+(* Provenance mechanism of an engine verdict; [Some qid] for SAT. *)
+let mechanism_of_source (src : Engine.source) :
+    Obs.Provenance.mechanism * int option =
+  match src with
+  | Engine.Via_lookup -> (Obs.Provenance.Rule "identical_signal", None)
+  | Engine.Via_rule r -> (Obs.Provenance.Rule r, None)
+  | Engine.Via_sim -> (Obs.Provenance.Rule "sim", None)
+  | Engine.Via_sat qid -> (Obs.Provenance.Sat, Some qid)
+  | Engine.Via_forgone -> (Obs.Provenance.Pruned, None)
+
 let with_fact known (bit : Bits.bit) v =
   let known' = Bits.Bit_tbl.copy known in
   (match bit with
@@ -57,26 +67,31 @@ let with_fact known (bit : Bits.bit) v =
 (* Resolve the select bit of a descendant mux under [known]:
    1. direct lookup (identical signal, the Yosys rule)
    2. full engine (rules / simulation / SAT) *)
-let resolve_select ctx known (s : Bits.bit) : Engine.verdict =
+let resolve_select ctx known (s : Bits.bit) :
+    Engine.verdict * Engine.source =
   match Inference.read known s with
-  | Some v -> Engine.Forced v
+  | Some v -> (Engine.Forced v, Engine.Via_lookup)
   | None ->
     (match s with
-    | Bits.C0 -> Engine.Forced false
-    | Bits.C1 -> Engine.Forced true
-    | Bits.Cx -> Engine.Unknown
+    | Bits.C0 -> (Engine.Forced false, Engine.Via_lookup)
+    | Bits.C1 -> (Engine.Forced true, Engine.Via_lookup)
+    | Bits.Cx -> (Engine.Unknown, Engine.Via_forgone)
     | Bits.Of_wire _ ->
       if Bits.Bit_tbl.length known = 0 then
         (* no path facts: only constants could be proven; opt_expr already
            covers those, skip the expensive query *)
-        Engine.Unknown
+        (Engine.Unknown, Engine.Via_forgone)
       else
-        Engine.determine ctx.cfg ctx.stats ctx.c ctx.index known ~target:s)
+        Engine.determine_how ctx.cfg ctx.stats ctx.c ctx.index known
+          ~target:s)
 
 (* Substitute data-port bits under [known]: direct lookups plus values the
    inference rules derive on a bounded view built from the cones of the
-   known signals and of the port bits themselves. *)
-let fold_data_bits ctx known (port : Bits.sigspec) : Bits.sigspec * bool =
+   known signals and of the port bits themselves.  [owner] is the mux cell
+   whose port is being folded, for provenance. *)
+let fold_data_bits ctx known ~owner (port : Bits.sigspec) :
+    Bits.sigspec * bool =
+  let track = Bits.Bit_tbl.create 16 in
   let local =
     if
       ctx.cfg.Config.enable_inference_rules
@@ -97,7 +112,7 @@ let fold_data_bits ctx known (port : Bits.sigspec) : Bits.sigspec * bool =
         else Subgraph.full_view sg
       in
       let local = Bits.Bit_tbl.copy known in
-      match Inference.propagate ctx.c local view.Subgraph.cells with
+      match Inference.propagate ~track ctx.c local view.Subgraph.cells with
       | _ -> local
       | exception Inference.Contradiction -> known
       end
@@ -113,7 +128,15 @@ let fold_data_bits ctx known (port : Bits.sigspec) : Bits.sigspec * bool =
           let nb = if v then Bits.C1 else Bits.C0 in
           if not (Bits.bit_equal nb b) then begin
             changed := true;
-            ctx.folded <- ctx.folded + 1
+            ctx.folded <- ctx.folded + 1;
+            let rule =
+              match Bits.Bit_tbl.find_opt track b with
+              | Some r -> r
+              | None -> "identical_signal"
+            in
+            Obs.Provenance.emit ~kind:Obs.Provenance.Const_resolved
+              ~cell:owner ~pass:"sat_elim"
+              ~mechanism:(Obs.Provenance.Rule rule) ~bits:1 ()
           end;
           nb
         | None -> b)
@@ -132,29 +155,37 @@ let rec chase ctx known ~cache ~loc (bit : Bits.bit) : Bits.bit =
     match Circuit.cell_opt ctx.c child_id with
     | Some (Cell.Mux { a; b; s; _ } as child)
       when OM.dedicated_location ctx.readers child = Some loc -> (
-      let verdict =
+      let verdict, src =
         match Bits.Bit_tbl.find_opt cache s with
-        | Some v -> v
+        | Some vs -> vs
         | None ->
-          let v = resolve_select ctx known s in
-          Bits.Bit_tbl.replace cache s v;
-          v
+          let vs = resolve_select ctx known s in
+          Bits.Bit_tbl.replace cache s vs;
+          vs
       in
       match verdict with
       | Engine.Forced v ->
         ctx.bypassed <- ctx.bypassed + 1;
+        let mechanism, query = mechanism_of_source src in
+        Obs.Provenance.emit ~kind:Obs.Provenance.Mux_bypassed
+          ~cell:child_id ~pass:"sat_elim" ~mechanism ?query ();
         chase ctx known ~cache ~loc (if v then b.(off) else a.(off))
       | Engine.Unreachable ->
         (* dead path: the value is never observed; pick branch a *)
         ctx.dead <- ctx.dead + 1;
+        Obs.Provenance.emit ~kind:Obs.Provenance.Dead_branch
+          ~cell:child_id ~pass:"sat_elim"
+          ~mechanism:Obs.Provenance.Pruned ();
         chase ctx known ~cache ~loc a.(off)
       | Engine.Free | Engine.Unknown -> bit)
     | Some _ | None -> bit)
 
 let resolve_port ctx known ~loc (port : Bits.sigspec) : Bits.sigspec * bool =
-  let folded, changed_f = fold_data_bits ctx known port in
+  let folded, changed_f = fold_data_bits ctx known ~owner:(fst loc) port in
   let changed = ref changed_f in
-  let cache : Engine.verdict Bits.Bit_tbl.t = Bits.Bit_tbl.create 8 in
+  let cache : (Engine.verdict * Engine.source) Bits.Bit_tbl.t =
+    Bits.Bit_tbl.create 8
+  in
   let out =
     Array.map
       (fun b ->

@@ -128,6 +128,8 @@ let topo_order t (ids : int list) : int list =
   List.iter visit ids;
   List.rev !order
 
+let h_prune_ratio = Obs.Metrics.histogram "subgraph.prune_ratio"
+
 (* Group signals by shared sources, then keep only cells whose output is in
    a group containing a relevant bit (a known signal or the target). *)
 let prune t ~(relevant : Bits.bit list) : view =
@@ -190,6 +192,9 @@ let prune t ~(relevant : Bits.bit list) : view =
       ids
   in
   let dropped = List.length ids - List.length kept_cells in
+  let total = List.length ids in
+  if total > 0 then
+    Obs.Metrics.observe h_prune_ratio (float_of_int dropped /. float_of_int total);
   {
     cells = kept_cells;
     sources = sources_of_cells t kept_cells;

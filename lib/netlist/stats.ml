@@ -60,3 +60,23 @@ let pp ppf s =
      wires=%d mux_bits=%d"
     s.total s.muxes s.pmuxes s.eqs s.dffs s.logic s.bitwise s.arith s.wires
     s.mux_bits
+
+(* Approximate AIG-node cost of one cell, the flow-wide unit of "area".
+   Matches the restructuring pass's cost model where they overlap (a w-bit
+   mux is 3w nodes, a w-bit eq is 4w-1); inverters are free in an AIG. *)
+let approx_cell_area (cell : Cell.t) : int =
+  match cell with
+  | Cell.Mux { y; _ } -> 3 * Bits.width y
+  | Cell.Pmux { y; s; _ } -> 3 * Bits.width y * Bits.width s
+  | Cell.Binary { op = Eq | Ne; a; _ } -> (4 * Bits.width a) - 1
+  | Cell.Binary { op = And | Or; y; _ } -> Bits.width y
+  | Cell.Binary { op = Xor | Xnor; y; _ } -> 3 * Bits.width y
+  | Cell.Binary { op = Logic_and | Logic_or; a; b; _ } ->
+    Bits.width a + Bits.width b - 1
+  | Cell.Binary { op = Add | Sub; y; _ } -> 5 * Bits.width y
+  | Cell.Unary { op = Not; _ } -> 0
+  | Cell.Unary { op = Logic_not | Reduce_and | Reduce_or | Reduce_bool; a; _ }
+    ->
+    max 0 (Bits.width a - 1)
+  | Cell.Unary { op = Reduce_xor; a; _ } -> 3 * max 0 (Bits.width a - 1)
+  | Cell.Dff _ -> 0

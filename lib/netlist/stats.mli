@@ -15,3 +15,8 @@ type t = {
 
 val of_circuit : Circuit.t -> t
 val pp : Format.formatter -> t -> unit
+
+val approx_cell_area : Cell.t -> int
+(** Approximate AIG-node cost of one cell (a w-bit mux is [3w], a w-bit eq
+    is [4w-1], inverters are free).  The unit used for provenance
+    [area_delta] across the flow. *)

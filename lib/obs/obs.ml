@@ -361,12 +361,19 @@ end
 module Metrics = struct
   type counter = { cname : string; mutable count : int }
 
+  (* Percentiles come from a bounded sample window: samples are kept
+     verbatim until [sample_cap], after which the buffer wraps (index
+     n mod cap), i.e. a sliding window over the most recent observations.
+     Deterministic — no RNG — so test runs are reproducible. *)
+  let sample_cap = 1024
+
   type histogram = {
     hname : string;
     mutable n : int;
     mutable sum : float;
     mutable min_seen : float;
     mutable max_seen : float;
+    samples : float array; (* wrap buffer of the last [sample_cap] values *)
   }
 
   let counter_registry : (string, counter) Hashtbl.t = Hashtbl.create 32
@@ -389,7 +396,14 @@ module Metrics = struct
     | Some h -> h
     | None ->
       let h =
-        { hname = name; n = 0; sum = 0.0; min_seen = 0.0; max_seen = 0.0 }
+        {
+          hname = name;
+          n = 0;
+          sum = 0.0;
+          min_seen = 0.0;
+          max_seen = 0.0;
+          samples = Array.make sample_cap 0.0;
+        }
       in
       Hashtbl.replace histogram_registry name h;
       h
@@ -403,6 +417,7 @@ module Metrics = struct
       if v < h.min_seen then h.min_seen <- v;
       if v > h.max_seen then h.max_seen <- v
     end;
+    h.samples.(h.n mod sample_cap) <- v;
     h.n <- h.n + 1;
     h.sum <- h.sum +. v
 
@@ -414,15 +429,31 @@ module Metrics = struct
     min_v : float;
     max_v : float;
     mean : float;
+    p50 : float;
+    p90 : float;
   }
 
+  (* Nearest-rank percentile over the retained sample window. *)
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else begin
+      let rank = int_of_float (ceil (q *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+    end
+
   let histogram_stats h =
+    let retained = min h.n sample_cap in
+    let sorted = Array.sub h.samples 0 retained in
+    Array.sort compare sorted;
     {
       count = h.n;
       sum = h.sum;
       min_v = h.min_seen;
       max_v = h.max_seen;
       mean = (if h.n = 0 then 0.0 else h.sum /. float_of_int h.n);
+      p50 = percentile sorted 0.50;
+      p90 = percentile sorted 0.90;
     }
 
   let counters () =
@@ -444,7 +475,8 @@ module Metrics = struct
         h.n <- 0;
         h.sum <- 0.0;
         h.min_seen <- 0.0;
-        h.max_seen <- 0.0)
+        h.max_seen <- 0.0;
+        Array.fill h.samples 0 sample_cap 0.0)
       histogram_registry
 
   let to_json () : Json.t =
@@ -465,7 +497,246 @@ module Metrics = struct
                        "min", Json.Num s.min_v;
                        "max", Json.Num s.max_v;
                        "mean", Json.Num s.mean;
+                       "p50", Json.Num s.p50;
+                       "p90", Json.Num s.p90;
                      ] ))
                (histograms ())) );
+      ]
+end
+
+module Provenance = struct
+  (* Structured "why did this netlist mutation happen" events.  Same
+     global-sink discipline as [Trace]: with no sink installed, [emit] is a
+     single match on a ref and records nothing, so instrumented passes pay
+     nothing in normal runs. *)
+
+  type mechanism = Pruned | Rule of string | Sat | Restructure
+
+  type kind =
+    | Cell_removed
+    | Mux_bypassed
+    | Const_resolved
+    | Tree_rebuilt
+    | Dead_branch
+
+  type event = {
+    kind : kind;
+    cell : int;
+    pass : string;
+    mechanism : mechanism;
+    query : int option;
+    bits : int;
+    area_delta : int;
+  }
+
+  type sink = { mutable recorded : event list; mutable count : int }
+
+  let make_sink () = { recorded = []; count = 0 }
+
+  let current : sink option ref = ref None
+
+  let install s = current := Some s
+  let uninstall () = current := None
+  let enabled () = !current <> None
+
+  let emit ~kind ~cell ~pass ~mechanism ?query ?(bits = 0) ?(area_delta = 0)
+      () =
+    match !current with
+    | None -> ()
+    | Some s ->
+      s.recorded <-
+        { kind; cell; pass; mechanism; query; bits; area_delta } :: s.recorded;
+      s.count <- s.count + 1
+
+  let events s = List.rev s.recorded
+  let count s = s.count
+
+  let kind_name = function
+    | Cell_removed -> "cell_removed"
+    | Mux_bypassed -> "mux_bypassed"
+    | Const_resolved -> "const_resolved"
+    | Tree_rebuilt -> "tree_rebuilt"
+    | Dead_branch -> "dead_branch"
+
+  let kind_of_name = function
+    | "cell_removed" -> Some Cell_removed
+    | "mux_bypassed" -> Some Mux_bypassed
+    | "const_resolved" -> Some Const_resolved
+    | "tree_rebuilt" -> Some Tree_rebuilt
+    | "dead_branch" -> Some Dead_branch
+    | _ -> None
+
+  (* Rules keep their individual name in the event stream ("rule:eq") but
+     collapse into one attribution row family; the bare constructors are
+     stable one-word labels. *)
+  let mechanism_name = function
+    | Pruned -> "pruned"
+    | Rule r -> "rule:" ^ r
+    | Sat -> "sat"
+    | Restructure -> "restructure"
+
+  let mechanism_of_name s =
+    match s with
+    | "pruned" -> Some Pruned
+    | "sat" -> Some Sat
+    | "restructure" -> Some Restructure
+    | _ ->
+      let prefix = "rule:" in
+      let pl = String.length prefix in
+      if String.length s > pl && String.sub s 0 pl = prefix then
+        Some (Rule (String.sub s pl (String.length s - pl)))
+      else None
+
+  let event_to_json (e : event) : Json.t =
+    Json.Obj
+      ([
+         "kind", Json.Str (kind_name e.kind);
+         "cell", Json.num_of_int e.cell;
+         "pass", Json.Str e.pass;
+         "mechanism", Json.Str (mechanism_name e.mechanism);
+       ]
+      @ (match e.query with
+        | Some q -> [ "query", Json.num_of_int q ]
+        | None -> [])
+      @ (if e.bits <> 0 then [ "bits", Json.num_of_int e.bits ] else [])
+      @
+      if e.area_delta <> 0 then
+        [ "area_delta", Json.num_of_int e.area_delta ]
+      else [])
+
+  let event_of_json (j : Json.t) : (event, string) result =
+    let str k =
+      match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+    in
+    let int_ k =
+      match Json.member k j with
+      | Some (Json.Num v) -> Some (int_of_float v)
+      | _ -> None
+    in
+    match str "kind", str "pass", str "mechanism", int_ "cell" with
+    | Some kn, Some pass, Some mn, Some cell -> (
+      match kind_of_name kn, mechanism_of_name mn with
+      | Some kind, Some mechanism ->
+        Ok
+          {
+            kind;
+            cell;
+            pass;
+            mechanism;
+            query = int_ "query";
+            bits = Option.value (int_ "bits") ~default:0;
+            area_delta = Option.value (int_ "area_delta") ~default:0;
+          }
+      | None, _ -> Error (Printf.sprintf "unknown event kind %S" kn)
+      | _, None -> Error (Printf.sprintf "unknown mechanism %S" mn))
+    | _ -> Error "event missing kind/pass/mechanism/cell"
+
+  (* JSONL: one compact JSON object per line — streamable, greppable, and
+     each line is independently checkable by [Json.parse]. *)
+  let to_jsonl_string s =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun e ->
+        Buffer.add_string buf (Json.to_string (event_to_json e));
+        Buffer.add_char buf '\n')
+      (events s);
+    Buffer.contents buf
+
+  let write_jsonl ~path s =
+    let oc = open_out path in
+    output_string oc (to_jsonl_string s);
+    close_out oc
+
+  let parse_jsonl text : (event list, string) result =
+    let lines =
+      String.split_on_char '\n' text
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let rec go acc lineno = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+        match Json.parse line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+        | Ok j -> (
+          match event_of_json j with
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+          | Ok ev -> go (ev :: acc) (lineno + 1) rest))
+    in
+    go [] 1 lines
+
+  (* --- area attribution --- *)
+
+  type attribution = {
+    mech : string;
+    cells_removed : int;
+    muxes_bypassed : int;
+    consts_resolved : int;
+    trees_rebuilt : int;
+    dead_branches : int;
+    area_saved : int; (* positive = AIG area removed *)
+  }
+
+  (* Group rules under one "rule:<name>" row each; sort rows by cells
+     removed (the paper's headline count) then area saved. *)
+  let attribute (evs : event list) : attribution list =
+    let tbl : (string, attribution) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let key = mechanism_name e.mechanism in
+        let a =
+          match Hashtbl.find_opt tbl key with
+          | Some a -> a
+          | None ->
+            {
+              mech = key;
+              cells_removed = 0;
+              muxes_bypassed = 0;
+              consts_resolved = 0;
+              trees_rebuilt = 0;
+              dead_branches = 0;
+              area_saved = 0;
+            }
+        in
+        let a =
+          match e.kind with
+          | Cell_removed -> { a with cells_removed = a.cells_removed + 1 }
+          | Mux_bypassed -> { a with muxes_bypassed = a.muxes_bypassed + 1 }
+          | Const_resolved ->
+            { a with consts_resolved = a.consts_resolved + max 1 e.bits }
+          | Tree_rebuilt -> { a with trees_rebuilt = a.trees_rebuilt + 1 }
+          | Dead_branch -> { a with dead_branches = a.dead_branches + 1 }
+        in
+        Hashtbl.replace tbl key { a with area_saved = a.area_saved - e.area_delta })
+      evs;
+    Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
+    |> List.sort (fun a b ->
+           match compare b.cells_removed a.cells_removed with
+           | 0 -> (
+             match compare b.area_saved a.area_saved with
+             | 0 -> compare a.mech b.mech
+             | c -> c)
+           | c -> c)
+
+  let attribution_to_json (a : attribution) : Json.t =
+    Json.Obj
+      [
+        "mechanism", Json.Str a.mech;
+        "cells_removed", Json.num_of_int a.cells_removed;
+        "muxes_bypassed", Json.num_of_int a.muxes_bypassed;
+        "consts_resolved", Json.num_of_int a.consts_resolved;
+        "trees_rebuilt", Json.num_of_int a.trees_rebuilt;
+        "dead_branches", Json.num_of_int a.dead_branches;
+        "area_saved", Json.num_of_int a.area_saved;
+      ]
+
+  let summary_json (evs : event list) : Json.t =
+    let rows = attribute evs in
+    let total f = List.fold_left (fun acc a -> acc + f a) 0 rows in
+    Json.Obj
+      [
+        "events", Json.num_of_int (List.length evs);
+        "cells_removed", Json.num_of_int (total (fun a -> a.cells_removed));
+        "area_saved", Json.num_of_int (total (fun a -> a.area_saved));
+        "by_mechanism", Json.List (List.map attribution_to_json rows);
       ]
 end

@@ -107,6 +107,10 @@ module Metrics : sig
     min_v : float;  (** 0 when empty *)
     max_v : float;  (** 0 when empty *)
     mean : float;  (** 0 when empty *)
+    p50 : float;
+        (** median over the retained sample window (the last 1024
+            observations); 0 when empty *)
+    p90 : float;  (** 90th percentile over the same window *)
   }
 
   val histogram_stats : histogram -> histogram_stats
@@ -121,5 +125,98 @@ module Metrics : sig
 
   val to_json : unit -> Json.t
   (** [{"counters": {...}, "histograms": {name: {count, sum, min, max,
-      mean}}}]. *)
+      mean, p50, p90}}}]. *)
+end
+
+(** Optimization provenance: one typed event per netlist mutation, so a run
+    can be replayed as "which mechanism removed which cell".
+
+    Same global-sink discipline as {!Trace}: with no sink installed,
+    {!emit} is a single match on a ref and records nothing.  Events are
+    serialized as JSONL (one compact JSON object per line) and aggregated
+    into a per-mechanism area-attribution table mirroring the paper's
+    ablation. *)
+module Provenance : sig
+  type mechanism =
+    | Pruned  (** reachability pruning / dead-code removal *)
+    | Rule of string  (** a named inference or folding rule *)
+    | Sat  (** resolved by a SAT query *)
+    | Restructure  (** muxtree restructuring *)
+
+  type kind =
+    | Cell_removed
+    | Mux_bypassed
+    | Const_resolved
+    | Tree_rebuilt
+    | Dead_branch
+
+  type event = {
+    kind : kind;
+    cell : int;  (** netlist cell id *)
+    pass : string;  (** emitting pass, e.g. ["sat_elim"] *)
+    mechanism : mechanism;
+    query : int option;  (** SAT query id when [mechanism] is [Sat] *)
+    bits : int;  (** affected bit count (0 when not meaningful) *)
+    area_delta : int;  (** estimated AIG-area change; negative = saved *)
+  }
+
+  type sink
+
+  val make_sink : unit -> sink
+  val install : sink -> unit
+  val uninstall : unit -> unit
+  val enabled : unit -> bool
+
+  val emit :
+    kind:kind ->
+    cell:int ->
+    pass:string ->
+    mechanism:mechanism ->
+    ?query:int ->
+    ?bits:int ->
+    ?area_delta:int ->
+    unit ->
+    unit
+  (** Record one event into the installed sink; no-op without a sink. *)
+
+  val events : sink -> event list
+  (** In emission order. *)
+
+  val count : sink -> int
+
+  val kind_name : kind -> string
+  val mechanism_name : mechanism -> string
+  (** [Pruned -> "pruned"], [Rule r -> "rule:" ^ r], ... *)
+
+  val mechanism_of_name : string -> mechanism option
+
+  val event_to_json : event -> Json.t
+  val event_of_json : Json.t -> (event, string) result
+
+  val to_jsonl_string : sink -> string
+  val write_jsonl : path:string -> sink -> unit
+
+  val parse_jsonl : string -> (event list, string) result
+  (** Strict: every non-blank line must be a well-formed event.  [Error]
+      messages carry the 1-based line number. *)
+
+  (** One row of the area-attribution table. *)
+  type attribution = {
+    mech : string;  (** {!mechanism_name} of the row's mechanism *)
+    cells_removed : int;
+    muxes_bypassed : int;
+    consts_resolved : int;  (** constant-substituted bits *)
+    trees_rebuilt : int;
+    dead_branches : int;
+    area_saved : int;  (** positive = AIG area removed *)
+  }
+
+  val attribute : event list -> attribution list
+  (** Grouped by mechanism, sorted by cells removed then area saved. *)
+
+  val attribution_to_json : attribution -> Json.t
+
+  val summary_json : event list -> Json.t
+  (** [{"events", "cells_removed", "area_saved", "by_mechanism": [...]}] —
+      the [provenance_summary] section of the [--json] report. *)
 end

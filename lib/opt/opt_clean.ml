@@ -3,6 +3,8 @@
 
 open Netlist
 
+let m_cells_removed = Obs.Metrics.counter "flow.cells_removed"
+
 (* One sweep: returns the number of removed cells. *)
 let sweep_once (c : Circuit.t) : int =
   let index = Index.build c in
@@ -37,7 +39,12 @@ let sweep_once (c : Circuit.t) : int =
   List.iter
     (fun id ->
       if not (Hashtbl.mem live id) then begin
+        let cell = Circuit.cell c id in
         Circuit.remove_cell c id;
+        Obs.Metrics.incr m_cells_removed;
+        Obs.Provenance.emit ~kind:Obs.Provenance.Cell_removed ~cell:id
+          ~pass:"opt_clean" ~mechanism:Obs.Provenance.Pruned
+          ~area_delta:(-Stats.approx_cell_area cell) ();
         incr removed
       end)
     (Circuit.cell_ids c);

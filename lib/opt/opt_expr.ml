@@ -88,10 +88,12 @@ let try_identity (cell : Cell.t) : Bits.sigspec option =
   | Cell.Binary _ | Cell.Unary _ | Cell.Mux _ | Cell.Pmux _ | Cell.Dff _ ->
     None
 
+let m_cells_removed = Obs.Metrics.counter "flow.cells_removed"
+
 let simplify_cell (c : Circuit.t) id (cell : Cell.t) : bool =
   let y = Cell.output cell in
   let is_port = output_is_port c cell in
-  let replace_with to_ =
+  let replace_with ~reason to_ =
     if is_port then begin
       (* ports cannot be renamed: normalize to a buffer driving the port *)
       let normalized =
@@ -108,17 +110,22 @@ let simplify_cell (c : Circuit.t) id (cell : Cell.t) : bool =
     else begin
       Rewire.replace_sig c ~from_:y ~to_;
       Circuit.remove_cell c id;
+      Obs.Metrics.incr m_cells_removed;
+      Obs.Provenance.emit ~kind:Obs.Provenance.Cell_removed ~cell:id
+        ~pass:"opt_expr" ~mechanism:(Obs.Provenance.Rule reason)
+        ~area_delta:(-Stats.approx_cell_area cell) ();
       true
     end
   in
   match try_const_eval cell with
-  | Some consts when Cell.is_combinational cell -> replace_with consts
+  | Some consts when Cell.is_combinational cell ->
+    replace_with ~reason:"const_fold" consts
   | Some _ | None -> (
     match try_identity cell with
-    | Some v -> replace_with v
+    | Some v -> replace_with ~reason:"identity" v
     | None -> (
       match try_passthrough cell with
-      | Some v -> replace_with v
+      | Some v -> replace_with ~reason:"passthrough" v
       | None -> false))
 
 let m_folded = Obs.Metrics.counter "opt_expr.folded"

@@ -44,6 +44,8 @@ let cell_key (cell : Cell.t) : string option =
          (Bits.width y))
   | Cell.Dff _ -> None
 
+let m_cells_removed = Obs.Metrics.counter "flow.cells_removed"
+
 (* One sweep; returns number of merged cells. *)
 let run_once (c : Circuit.t) : int =
   let table : (string, int) Hashtbl.t = Hashtbl.create 64 in
@@ -62,6 +64,10 @@ let run_once (c : Circuit.t) : int =
             let survivor = Circuit.cell c survivor_id in
             let y_dup = Cell.output cell in
             Circuit.remove_cell c id;
+            Obs.Metrics.incr m_cells_removed;
+            Obs.Provenance.emit ~kind:Obs.Provenance.Cell_removed ~cell:id
+              ~pass:"opt_merge" ~mechanism:(Obs.Provenance.Rule "merge")
+              ~area_delta:(-Stats.approx_cell_area cell) ();
             Rewire.replace_sig c ~from_:y_dup ~to_:(Cell.output survivor);
             incr merged)))
     (Circuit.cell_ids c);

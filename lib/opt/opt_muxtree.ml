@@ -124,6 +124,9 @@ let rec resolve ctx known ~loc (bit : Bits.bit) : Bits.bit =
             match sv with
             | Some v ->
               ctx.eliminated <- ctx.eliminated + 1;
+              Obs.Provenance.emit ~kind:Obs.Provenance.Mux_bypassed
+                ~cell:child_id ~pass:"opt_muxtree"
+                ~mechanism:(Obs.Provenance.Rule "identical_signal") ();
               resolve ctx known ~loc (if v then b.(off) else a.(off))
             | None -> bit)
           | Cell.Pmux _ | Cell.Unary _ | Cell.Binary _ | Cell.Dff _ -> bit)
@@ -138,7 +141,12 @@ let resolve_port ctx known ~loc (port : Bits.sigspec) : Bits.sigspec * bool =
         let nb = resolve ctx known ~loc bit in
         if not (Bits.bit_equal nb bit) then begin
           changed := true;
-          if Bits.is_const nb then ctx.const_bits <- ctx.const_bits + 1
+          if Bits.is_const nb then begin
+            ctx.const_bits <- ctx.const_bits + 1;
+            Obs.Provenance.emit ~kind:Obs.Provenance.Const_resolved
+              ~cell:(fst loc) ~pass:"opt_muxtree"
+              ~mechanism:(Obs.Provenance.Rule "identical_signal") ~bits:1 ()
+          end
         end;
         nb)
       port

@@ -64,6 +64,8 @@ let groom_pmux (c : Circuit.t) (p : Cell.t) : action =
     end
   | Cell.Mux _ | Cell.Unary _ | Cell.Binary _ | Cell.Dff _ -> Keep
 
+let m_cells_removed = Obs.Metrics.counter "flow.cells_removed"
+
 let run_once (c : Circuit.t) : int =
   let changed = ref 0 in
   List.iter
@@ -80,6 +82,10 @@ let run_once (c : Circuit.t) : int =
           let y = Cell.output cell in
           Rewire.replace_sig c ~from_:y ~to_:value;
           Circuit.remove_cell c id;
+          Obs.Metrics.incr m_cells_removed;
+          Obs.Provenance.emit ~kind:Obs.Provenance.Cell_removed ~cell:id
+            ~pass:"opt_reduce" ~mechanism:(Obs.Provenance.Rule "pmux_collapse")
+            ~area_delta:(-Stats.approx_cell_area cell) ();
           incr changed))
     (Circuit.cell_ids c);
   !changed

@@ -3,14 +3,26 @@
 
 type cnf = { num_vars : int; clauses : int list list (* DIMACS ints *) }
 
-let parse_string text : cnf =
+(* [parse_string_ext] additionally returns the comment lines (with the
+   leading "c" and one following space stripped) in file order; the
+   replay subcommand reads recorded query metadata from them. *)
+let parse_string_ext text : cnf * string list =
   let num_vars = ref 0 in
   let clauses = ref [] in
   let current = ref [] in
+  let comments = ref [] in
   String.split_on_char '\n' text
   |> List.iter (fun line ->
          let line = String.trim line in
-         if line = "" || line.[0] = 'c' then ()
+         if line = "" then ()
+         else if line.[0] = 'c' then begin
+           let body =
+             if String.length line >= 2 && line.[1] = ' ' then
+               String.sub line 2 (String.length line - 2)
+             else String.sub line 1 (String.length line - 1)
+           in
+           comments := body :: !comments
+         end
          else if line.[0] = 'p' then begin
            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
            | [ "p"; "cnf"; nv; _nc ] -> num_vars := int_of_string nv
@@ -27,10 +39,15 @@ let parse_string text : cnf =
                   end
                   else current := v :: !current));
   if !current <> [] then clauses := List.rev !current :: !clauses;
-  { num_vars = !num_vars; clauses = List.rev !clauses }
+  { num_vars = !num_vars; clauses = List.rev !clauses }, List.rev !comments
 
-let to_string (c : cnf) =
+let parse_string text : cnf = fst (parse_string_ext text)
+
+let to_string ?(comments = []) (c : cnf) =
   let buf = Buffer.create 256 in
+  List.iter
+    (fun line -> Buffer.add_string buf ("c " ^ line ^ "\n"))
+    comments;
   Buffer.add_string buf
     (Printf.sprintf "p cnf %d %d\n" c.num_vars (List.length c.clauses));
   List.iter

@@ -5,6 +5,11 @@ type cnf = { num_vars : int; clauses : int list list }
 val parse_string : string -> cnf
 (** @raise Invalid_argument on malformed input. *)
 
-val to_string : cnf -> string
+val parse_string_ext : string -> cnf * string list
+(** Like {!parse_string}, also returning comment lines (leading ["c "]
+    stripped) in file order — recorded query metadata lives there. *)
+
+val to_string : ?comments:string list -> cnf -> string
+(** [comments] are emitted first, one ["c "]-prefixed line each. *)
 
 val load : cnf -> Solver.t

@@ -47,6 +47,11 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  (* telemetry of the most recent [solve] call *)
+  mutable last_conflicts : int;
+  mutable last_decisions : int;
+  mutable last_propagations : int;
+  mutable last_wall_s : float;
 }
 
 let create () =
@@ -75,6 +80,10 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    last_conflicts = 0;
+    last_decisions = 0;
+    last_propagations = 0;
+    last_wall_s = 0.0;
   }
 
 let num_vars s = s.num_vars
@@ -561,7 +570,9 @@ let search s ~assumptions ~budget : solve_outcome =
   in
   loop ()
 
-let solve ?(assumptions = []) ?budget s : result =
+(* Wrapped so every path through [solve] records the per-call deltas the
+   engine's per-query telemetry reads back via [last_solve_stats]. *)
+let solve_raw ?(assumptions = []) ?budget s : result =
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -577,6 +588,31 @@ let solve ?(assumptions = []) ?budget s : result =
       r
   end
 
+type solve_stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  wall_s : float;
+}
+
+let solve ?assumptions ?budget (s : t) : result =
+  let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
+  let t0 = Unix.gettimeofday () in
+  let r = solve_raw ?assumptions ?budget s in
+  s.last_conflicts <- s.conflicts - c0;
+  s.last_decisions <- s.decisions - d0;
+  s.last_propagations <- s.propagations - p0;
+  s.last_wall_s <- Unix.gettimeofday () -. t0;
+  r
+
+let last_solve_stats (s : t) =
+  {
+    conflicts = s.last_conflicts;
+    decisions = s.last_decisions;
+    propagations = s.last_propagations;
+    wall_s = s.last_wall_s;
+  }
+
 (* Read the model after [solve] returned [Sat]. *)
 let model_value s v =
   match s.assigns.(v) with
@@ -587,4 +623,4 @@ let model_value s v =
 (* After Sat, the caller usually wants to continue incrementally. *)
 let release_model s = cancel_until s 0
 
-let stats s = s.conflicts, s.decisions, s.propagations
+let stats (s : t) = s.conflicts, s.decisions, s.propagations

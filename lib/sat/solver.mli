@@ -40,4 +40,18 @@ val value_lit : t -> Lit.t -> int
 (** Current assignment of a literal: 1 true, 0 false, -1 unassigned. *)
 
 val stats : t -> int * int * int
-(** (conflicts, decisions, propagations). *)
+(** (conflicts, decisions, propagations), cumulative over the solver's
+    lifetime. *)
+
+(** Telemetry of one [solve] call, as opposed to the process-lifetime
+    totals of {!stats}. *)
+type solve_stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  wall_s : float;
+}
+
+val last_solve_stats : t -> solve_stats
+(** Deltas and wall time of the most recent {!solve} call (all zero before
+    the first call). *)

@@ -10,6 +10,7 @@ type t = {
   solver : Solver.t;
   vars : int Bits.Bit_tbl.t;
   true_lit : Lit.t;
+  mutable clause_log : Lit.t list list; (* added clauses, reversed *)
 }
 
 let create () =
@@ -17,7 +18,12 @@ let create () =
   let tv = Solver.new_var solver in
   let true_lit = Lit.of_var tv in
   Solver.add_clause solver [ true_lit ];
-  { solver; vars = Bits.Bit_tbl.create 64; true_lit }
+  {
+    solver;
+    vars = Bits.Bit_tbl.create 64;
+    true_lit;
+    clause_log = [ [ true_lit ] ];
+  }
 
 let lit_of_bit t (b : Bits.bit) : Lit.t =
   match b with
@@ -33,7 +39,9 @@ let lit_of_bit t (b : Bits.bit) : Lit.t =
 
 let fresh_lit t = Lit.of_var (Solver.new_var t.solver)
 
-let add t lits = Solver.add_clause t.solver lits
+let add t lits =
+  t.clause_log <- lits :: t.clause_log;
+  Solver.add_clause t.solver lits
 
 (* y <-> a & b *)
 let encode_and2 t y a b =
@@ -215,24 +223,45 @@ let assume_lit t (b : Bits.bit) (v : bool) =
   let l = lit_of_bit t b in
   if v then l else Lit.negate l
 
+(* The encoded CNF as DIMACS, with [extra] clauses appended — the capture
+   path turns assumptions and the queried target polarity into unit
+   clauses so the dumped instance is self-contained. *)
+let to_dimacs t ~(extra : Lit.t list list) : Dimacs.cnf =
+  let conv = List.map Lit.to_dimacs in
+  {
+    Dimacs.num_vars = Solver.num_vars t.solver;
+    clauses = List.rev_map conv t.clause_log @ List.map conv extra;
+  }
+
 type query_result = Forced of bool | Free | Undetermined
+
+(* What the last solver call of a query looked like, for capture/replay:
+   the polarity asserted on the target and the raw solver verdict. *)
+type solve_info = { last_target_lit : Lit.t; last_result : Solver.result }
 
 (* Is [target] forced to a constant under [assumptions]?  Checks
    SAT(target=0) and SAT(target=1). *)
-let query_forced ?budget t ~assumptions ~(target : Bits.bit) : query_result =
+let query_forced_info ?budget t ~assumptions ~(target : Bits.bit) :
+    query_result * solve_info =
   let tl = lit_of_bit t target in
   let can_be_true =
     Solver.solve ?budget t.solver ~assumptions:(assumptions @ [ tl ])
   in
   match can_be_true with
-  | Solver.Unknown -> Undetermined
-  | Solver.Unsat -> Forced false
+  | Solver.Unknown ->
+    Undetermined, { last_target_lit = tl; last_result = can_be_true }
+  | Solver.Unsat ->
+    Forced false, { last_target_lit = tl; last_result = can_be_true }
   | Solver.Sat -> (
+    let ntl = Lit.negate tl in
     let can_be_false =
-      Solver.solve ?budget t.solver
-        ~assumptions:(assumptions @ [ Lit.negate tl ])
+      Solver.solve ?budget t.solver ~assumptions:(assumptions @ [ ntl ])
     in
+    let info = { last_target_lit = ntl; last_result = can_be_false } in
     match can_be_false with
-    | Solver.Unknown -> Undetermined
-    | Solver.Unsat -> Forced true
-    | Solver.Sat -> Free)
+    | Solver.Unknown -> Undetermined, info
+    | Solver.Unsat -> Forced true, info
+    | Solver.Sat -> Free, info)
+
+let query_forced ?budget t ~assumptions ~target : query_result =
+  fst (query_forced_info ?budget t ~assumptions ~target)

@@ -6,6 +6,9 @@ type t = {
   solver : Solver.t;
   vars : int Bits.Bit_tbl.t;  (** wire bit -> SAT variable *)
   true_lit : Lit.t;  (** a variable asserted true, for constants *)
+  mutable clause_log : Lit.t list list;
+      (** every added clause, most recent first — the raw material for
+          {!to_dimacs} query capture *)
 }
 
 val create : unit -> t
@@ -23,9 +26,27 @@ val encode_cells : t -> Circuit.t -> int list -> unit
 val assume_lit : t -> Bits.bit -> bool -> Lit.t
 (** Assumption literal asserting the bit's value. *)
 
+val to_dimacs : t -> extra:Lit.t list list -> Dimacs.cnf
+(** The encoded CNF with [extra] clauses appended.  Dumping a query passes
+    the assumptions and the queried target polarity as unit clauses, making
+    the instance self-contained for [smartly replay]. *)
+
 type query_result = Forced of bool | Free | Undetermined
+
+(** The last solver call of a query: which target polarity was asserted
+    and what the solver answered.  A replay of the clauses plus that unit
+    must reproduce [last_result]. *)
+type solve_info = { last_target_lit : Lit.t; last_result : Solver.result }
 
 val query_forced :
   ?budget:int -> t -> assumptions:Lit.t list -> target:Bits.bit -> query_result
 (** Is the target bit forced under the assumptions?  Two incremental
     solver calls: SAT(target=1) and SAT(target=0). *)
+
+val query_forced_info :
+  ?budget:int ->
+  t ->
+  assumptions:Lit.t list ->
+  target:Bits.bit ->
+  query_result * solve_info
+(** Like {!query_forced}, also exposing the final solve for capture. *)

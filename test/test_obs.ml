@@ -238,6 +238,107 @@ let test_metrics_json () =
     check_bool "histogram present" true (List.mem_assoc "test.h2" kvs)
   | _ -> Alcotest.fail "missing histograms"
 
+
+(* --- satellite: Json.parse edge cases --- *)
+
+let test_json_escapes () =
+  let open Obs.Json in
+  (* standard escapes *)
+  (match parse {|"a\"b\\c\/d\n\t\r\b\f"|} with
+  | Ok (Str got) -> check_string "escapes" "a\"b\\c/d\n\t\r\b\012" got
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error e -> Alcotest.failf "escape parse failed: %s" e);
+  (* \u escapes: ASCII range must decode; a lone surrogate or truncated
+     sequence must be rejected, not crash *)
+  (match parse {|"\u0041\u005a"|} with
+  | Ok (Str got) -> check_string "unicode ascii" "AZ" got
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error _ -> ());
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parser accepted %S" bad)
+    [ {|"\u00"|}; {|"\uZZZZ"|}; {|"\q"|} ]
+
+let test_json_deep_nesting () =
+  let open Obs.Json in
+  (* a few hundred levels must roundtrip without stack overflow *)
+  let depth = 400 in
+  let rec build n = if n = 0 then num_of_int 7 else List [ build (n - 1) ] in
+  let v = build depth in
+  (match parse (to_string v) with
+  | Ok v' -> check_bool "deep list roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "deep parse failed: %s" e);
+  let rec build_obj n =
+    if n = 0 then Null else Obj [ ("k", build_obj (n - 1)) ]
+  in
+  let o = build_obj depth in
+  match parse (to_string o) with
+  | Ok o' -> check_bool "deep obj roundtrip" true (o = o')
+  | Error e -> Alcotest.failf "deep obj parse failed: %s" e
+
+let test_json_truncated () =
+  let open Obs.Json in
+  (* every strict prefix of a valid document must fail to parse *)
+  let doc = {|{"a":[1,2.5,true,null,"x\n"],"b":{"c":false}}|} in
+  for len = 0 to String.length doc - 1 do
+    match parse (String.sub doc 0 len) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted truncated prefix of length %d" len
+  done
+
+(* --- satellite: histogram percentiles --- *)
+
+let test_histogram_percentiles () =
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.histogram "test.pct" in
+  for i = 1 to 100 do
+    Obs.Metrics.observe_int h i
+  done;
+  let st = Obs.Metrics.histogram_stats h in
+  check_bool "p50" true (st.Obs.Metrics.p50 = 50.0);
+  check_bool "p90" true (st.Obs.Metrics.p90 = 90.0);
+  check_bool "max" true (st.Obs.Metrics.max_v = 100.0);
+  (* single observation: every percentile is that value *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.observe h 7.0;
+  let st1 = Obs.Metrics.histogram_stats h in
+  check_bool "single p50" true (st1.Obs.Metrics.p50 = 7.0);
+  check_bool "single p90" true (st1.Obs.Metrics.p90 = 7.0);
+  (* more observations than the sample window: percentiles come from the
+     retained window, still within the observed range *)
+  Obs.Metrics.reset ();
+  for i = 1 to 5000 do
+    Obs.Metrics.observe_int h i
+  done;
+  let stw = Obs.Metrics.histogram_stats h in
+  check_int "count over window" 5000 stw.Obs.Metrics.count;
+  check_bool "windowed p50 in range" true
+    (stw.Obs.Metrics.p50 >= 1.0 && stw.Obs.Metrics.p50 <= 5000.0);
+  check_bool "p50 <= p90" true (stw.Obs.Metrics.p50 <= stw.Obs.Metrics.p90)
+
+(* --- satellite: cross-run metric isolation (the bench contamination
+   regression: a second measurement scoped by [reset] must not see the
+   first one's observations) --- *)
+
+let test_metrics_reset_isolation () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.case_counter" in
+  let h = Obs.Metrics.histogram "test.case_hist" in
+  (* case 1 *)
+  Obs.Metrics.add c 100;
+  Obs.Metrics.observe h 1000.0;
+  (* case 2, scoped by reset as bench/main.ml does between cases *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.add c 3;
+  Obs.Metrics.observe h 2.0;
+  check_int "counter sees only case 2" 3 (Obs.Metrics.value c);
+  let st = Obs.Metrics.histogram_stats h in
+  check_int "histogram sees only case 2" 1 st.Obs.Metrics.count;
+  check_bool "no stale max" true (st.Obs.Metrics.max_v = 2.0);
+  check_bool "no stale p90" true (st.Obs.Metrics.p90 = 2.0)
+
 let () =
   Alcotest.run "obs"
     [
@@ -247,6 +348,9 @@ let () =
           Alcotest.test_case "locale stable" `Quick test_json_locale_stable;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "member" `Quick test_json_member;
+          Alcotest.test_case "escape sequences" `Quick test_json_escapes;
+          Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
+          Alcotest.test_case "truncated input" `Quick test_json_truncated;
         ] );
       ( "trace",
         [
@@ -262,5 +366,8 @@ let () =
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "histograms" `Quick test_histograms;
           Alcotest.test_case "json export" `Quick test_metrics_json;
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "reset isolation" `Quick
+            test_metrics_reset_isolation;
         ] );
     ]
