@@ -20,8 +20,20 @@ bench: build
 # ladder reaches SAT — dumps its hardest queries and replays each one,
 # failing on any verdict mismatch.  The replay loop is guarded because
 # a profile resolved entirely by simulation dumps zero queries.
+# The lint step covers every checked-in example plus the two smoke
+# profiles; `lint` exits nonzero on error-severity findings, so a
+# regression that makes an example ill-formed fails the build, and the
+# JSON report must survive the strict parser.  Finally the mux_chain
+# optimization is re-run under --check-invariants, which validates,
+# lints and equivalence-checks the circuit after every pass.
 ci: build
 	dune runtest
+	dune exec bin/smartly_cli.exe -- lint examples/*.v mux_chain riscv
+	dune exec bin/smartly_cli.exe -- lint examples/*.v mux_chain riscv \
+	  --json > /tmp/smartly_lint.json
+	dune exec bin/smartly_cli.exe -- validate-json /tmp/smartly_lint.json
+	dune exec bin/smartly_cli.exe -- opt mux_chain --flow smartly \
+	  --check-invariants
 	dune exec bin/smartly_cli.exe -- opt mux_chain --flow smartly \
 	  --json --trace /tmp/smartly_trace.json \
 	  --provenance /tmp/smartly_prov.jsonl \

@@ -8,6 +8,9 @@
    smartly explain FILE.jsonl             area-attribution from a provenance log
    smartly replay FILE.cnf...             re-run captured SAT queries
    smartly validate-json FILE...          check files parse as JSON (.jsonl per line)
+   smartly lint SRC... [--json] [--werror] [--waive RULES]
+                                          static analysis: AST rules + netlist rules;
+                                          --list-rules prints the registry
 
    SRC is either a built-in profile name or a path to a Verilog file in the
    supported subset.
@@ -229,10 +232,10 @@ let flow_name = function
   | `Sat -> "sat"
   | `Rebuild -> "rebuild"
 
-let run_flow flow (c : Netlist.Circuit.t) : outcome =
+let run_flow ?after_pass flow (c : Netlist.Circuit.t) : outcome =
   match flow with
   | `None -> O_none
-  | `Yosys -> O_yosys (Smartly.Driver.yosys c)
+  | `Yosys -> O_yosys (Smartly.Driver.yosys ?after_pass c)
   | (`Smartly | `Sat | `Rebuild) as f ->
     let cfg =
       match f with
@@ -240,7 +243,7 @@ let run_flow flow (c : Netlist.Circuit.t) : outcome =
       | `Rebuild -> Smartly.Config.rebuild_only
       | `Smartly -> Smartly.Config.default
     in
-    O_smartly (Smartly.Driver.smartly ~cfg c)
+    O_smartly (Smartly.Driver.smartly ~cfg ?after_pass c)
 
 (* Every flow variant prints its pass reports here — `--verbose` behaves
    the same whether the flow is none/yosys/sat/rebuild/smartly. *)
@@ -376,10 +379,28 @@ let stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink ~psink :
       "metrics", Obs.Metrics.to_json ();
     ]
 
+let check_invariants_arg =
+  Arg.(
+    value & flag
+    & info [ "check-invariants" ]
+        ~doc:
+          "Re-validate the netlist and SAT-check equivalence after every \
+           sub-pass; on a violation, name the first pass that broke an \
+           invariant and exit non-zero.")
+
 let opt_cmd =
-  let run src style flow check verbose trace json provenance sat_dump =
+  let run src style flow check verbose trace json provenance sat_dump
+      check_invariants =
     let c = load_circuit ~style src in
     let orig = Netlist.Circuit.copy c in
+    let invariants =
+      if check_invariants then Some (Lint.Invariant.create c) else None
+    in
+    let after_pass =
+      Option.map
+        (fun t name circuit -> Lint.Invariant.after_pass t name circuit)
+        invariants
+    in
     (* spans feed both the --trace file and the per-pass times of the
        --json report; with neither flag no sink is installed and tracing
        costs nothing *)
@@ -405,7 +426,7 @@ let opt_cmd =
     Smartly.Engine.Sat_log.reset ();
     let area0 = Aiger.Aigmap.aig_area c in
     let t0 = Unix.gettimeofday () in
-    let outcome = run_flow flow c in
+    let outcome = run_flow ?after_pass flow c in
     let dt = Unix.gettimeofday () -. t0 in
     let area1 = Aiger.Aigmap.aig_area c in
     Obs.Trace.uninstall ();
@@ -456,17 +477,28 @@ let opt_cmd =
               ~psink));
     if check then
       Fmt.pf human "equivalence: %a@." Equiv.pp_verdict (Equiv.check orig c);
-    match !trace_error with
+    let invariant_failed = ref false in
+    (match invariants with
     | None -> ()
-    | Some msg ->
-      Printf.eprintf "trace: cannot write: %s\n%!" msg;
-      exit 1
+    | Some t -> (
+      match Lint.Invariant.failure t with
+      | None ->
+        Fmt.pf human "invariants: ok (%d checks)@."
+          (Lint.Invariant.checks_run t)
+      | Some f ->
+        invariant_failed := true;
+        Fmt.pf human "invariants: @[<v>%a@]@." Lint.Invariant.pp_failure f));
+    (match !trace_error with
+    | None -> ()
+    | Some msg -> Printf.eprintf "trace: cannot write: %s\n%!" msg);
+    if !trace_error <> None || !invariant_failed then exit 1
   in
   Cmd.v
     (Cmd.info "opt" ~doc:"Optimize a circuit and report the AIG area.")
     Term.(
       const run $ src_arg $ style_arg $ flow_arg $ check_arg $ verbose_arg
-      $ trace_arg $ json_arg $ provenance_arg $ sat_dump_arg)
+      $ trace_arg $ json_arg $ provenance_arg $ sat_dump_arg
+      $ check_invariants_arg)
 
 let write_verilog_cmd =
   let out_arg =
@@ -655,6 +687,131 @@ let replay_cmd =
           result against the recorded verdict; non-zero exit on mismatch.")
     Term.(const run $ files_arg)
 
+let lint_cmd =
+  let sources_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SRC" ~doc:"Profile names or Verilog files.")
+  in
+  let werror_arg =
+    Arg.(
+      value & flag
+      & info [ "werror" ] ~doc:"Treat warnings as errors (infos stay infos).")
+  in
+  let waive_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "waive" ] ~docv:"RULES"
+          ~doc:
+            "Suppress diagnostics of the given rule ids \
+             (comma-separated; repeatable), e.g. --waive HDL001,NL003.")
+  in
+  let list_rules_arg =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ] ~doc:"Print the rule registry and exit.")
+  in
+  let run sources style json werror waive list_rules =
+    if list_rules then begin
+      let columns =
+        Report.Table.
+          [ column "rule"; column "layer"; column "severity"; column "title" ]
+      in
+      let rows =
+        List.map
+          (fun (r : Lint.Registry.rule) ->
+            [
+              r.Lint.Registry.id;
+              Lint.Registry.layer_name r.Lint.Registry.layer;
+              Lint.Diag.severity_name r.Lint.Registry.default_severity;
+              r.Lint.Registry.title;
+            ])
+          Lint.Registry.all
+      in
+      Report.Table.print ~columns ~rows
+    end
+    else begin
+      if sources = [] then begin
+        Printf.eprintf "lint: no sources given (profile names or .v files)\n";
+        exit 2
+      end;
+      let waive =
+        List.concat_map (String.split_on_char ',') waive
+        |> List.map String.trim
+        |> List.filter (( <> ) "")
+      in
+      List.iter
+        (fun id ->
+          if not (Lint.Registry.is_known id) then begin
+            Printf.eprintf
+              "lint: unknown rule id '%s' in --waive (see --list-rules)\n" id;
+            exit 2
+          end)
+        waive;
+      let lint_one src =
+        match Workloads.Profiles.by_name src with
+        | Some p ->
+          (* profiles are linted from their generated source, with the
+             profile's own case-lowering style *)
+          Lint.Engine.lint_source ~style:p.Workloads.Profiles.style
+            (Workloads.Profiles.source p)
+        | None ->
+          if Sys.file_exists src then
+            Lint.Engine.lint_source ~style (read_file src)
+          else begin
+            Printf.eprintf
+              "lint: %s: neither a profile name nor an existing file\n" src;
+            exit 2
+          end
+      in
+      let results =
+        List.map
+          (fun src -> (src, Lint.Diag.apply ~werror ~waive (lint_one src)))
+          sources
+      in
+      let all = List.concat_map snd results in
+      if json then
+        print_endline
+          (Obs.Json.to_string ~pretty:true (Lint.Engine.report_json results))
+      else begin
+        let columns =
+          Report.Table.column "source" :: Lint.Diag.table_columns
+        in
+        let rows =
+          List.concat_map
+            (fun (src, diags) ->
+              List.map
+                (fun row -> src :: row)
+                (Lint.Diag.table_rows diags))
+            results
+        in
+        if rows <> [] then Report.Table.print ~columns ~rows;
+        let errors, warnings, infos = Lint.Diag.counts all in
+        Printf.printf "%d source%s: %d error%s, %d warning%s, %d info%s\n"
+          (List.length results)
+          (if List.length results = 1 then "" else "s")
+          errors
+          (if errors = 1 then "" else "s")
+          warnings
+          (if warnings = 1 then "" else "s")
+          infos
+          (if infos = 1 then "" else "s")
+      end;
+      if Lint.Diag.has_errors all then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static analyzer over Verilog sources or profiles: AST \
+          rules (case coverage, multiple drivers, truncation, read-before- \
+          write), then netlist rules on the elaborated circuit.  Non-zero \
+          exit iff any error-severity diagnostic remains after --waive / \
+          --werror.")
+    Term.(
+      const run $ sources_arg $ style_arg $ json_arg $ werror_arg $ waive_arg
+      $ list_rules_arg)
+
 let validate_json_cmd =
   let files_arg =
     Arg.(
@@ -709,7 +866,7 @@ let main_cmd =
     (Cmd.info "smartly" ~version:"1.0.0" ~doc)
     [
       list_cmd; generate_cmd; stats_cmd; opt_cmd; cec_cmd; dump_cmd;
-      write_verilog_cmd; explain_cmd; replay_cmd; validate_json_cmd;
+      write_verilog_cmd; explain_cmd; replay_cmd; validate_json_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

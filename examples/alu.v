@@ -1,0 +1,12 @@
+// 4-bit ALU: a complete case with a default arm.  Lint-clean; used by
+// `make ci` (smartly lint examples/*.v) and the README walkthrough.
+module alu(input [1:0] op, input [3:0] a, input [3:0] b, output reg [3:0] y);
+  always @* begin
+    case (op)
+      2'b00: y = a + b;
+      2'b01: y = a - b;
+      2'b10: y = a & b;
+      default: y = a | b;
+    endcase
+  end
+endmodule

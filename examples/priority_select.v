@@ -1,0 +1,14 @@
+// Priority selector: pre-assigning 'grant' keeps the always @* block
+// latch-free without a default arm (HDL001 checks must-assignment, not
+// just the presence of a default), and the casez patterns are disjoint,
+// so the HDL002 overlap rule stays quiet too.
+module priority_select(input [3:0] req, output reg [1:0] grant);
+  always @* begin
+    grant = 2'b00;
+    casez (req)
+      4'bzz10: grant = 2'b01;
+      4'bz100: grant = 2'b10;
+      4'b1000: grant = 2'b11;
+    endcase
+  end
+endmodule

@@ -16,10 +16,12 @@ type result = {
 let h_cells_delta = Obs.Metrics.histogram "driver.cells_removed_per_iter"
 let m_iterations = Obs.Metrics.counter "driver.iterations"
 
-let yosys (c : Circuit.t) : Rtl_opt.Flow.report =
-  Obs.Trace.with_span "driver.yosys" @@ fun () -> Rtl_opt.Flow.baseline c
+let yosys ?after_pass (c : Circuit.t) : Rtl_opt.Flow.report =
+  Obs.Trace.with_span "driver.yosys" @@ fun () ->
+  Rtl_opt.Flow.baseline ?after_pass c
 
-let smartly ?(cfg = Config.default) (c : Circuit.t) : result =
+let smartly ?(cfg = Config.default) ?(after_pass = fun _ _ -> ())
+    (c : Circuit.t) : result =
   Obs.Trace.with_span "driver.smartly" @@ fun () ->
   let sat_reports = ref [] in
   let rebuild_reports = ref [] in
@@ -29,11 +31,16 @@ let smartly ?(cfg = Config.default) (c : Circuit.t) : result =
       let cells_before = Circuit.cell_count c in
       let progress =
         Obs.Trace.with_span "driver.iteration" @@ fun () ->
-        let e = Rtl_opt.Opt_expr.run c + Rtl_opt.Opt_merge.run c in
+        let e = Rtl_opt.Opt_expr.run c in
+        after_pass "opt_expr" c;
+        let g = Rtl_opt.Opt_merge.run c in
+        after_pass "opt_merge" c;
+        let e = e + g in
         let sat_changed =
           if cfg.Config.enable_sat then begin
             let r = Sat_elim.run_once cfg c in
             sat_reports := r :: !sat_reports;
+            after_pass "sat_elim" c;
             Sat_elim.changed r
           end
           else false
@@ -45,11 +52,13 @@ let smartly ?(cfg = Config.default) (c : Circuit.t) : result =
                 ~single_ctrl:cfg.Config.rebuild_single_ctrl c
             in
             rebuild_reports := r :: !rebuild_reports;
+            after_pass "restructure" c;
             Restructure.changed r
           end
           else false
         in
         let removed = Rtl_opt.Opt_clean.run c in
+        after_pass "opt_clean" c;
         e > 0 || sat_changed || rebuild_changed || removed > 0
       in
       Obs.Metrics.observe_int h_cells_delta

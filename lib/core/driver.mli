@@ -13,12 +13,20 @@ type result = {
   rebuild_reports : Restructure.report list;
 }
 
-val yosys : Circuit.t -> Rtl_opt.Flow.report
+val yosys :
+  ?after_pass:(string -> Circuit.t -> unit) -> Circuit.t -> Rtl_opt.Flow.report
 
-val smartly : ?cfg:Config.t -> Circuit.t -> result
+val smartly :
+  ?cfg:Config.t ->
+  ?after_pass:(string -> Circuit.t -> unit) ->
+  Circuit.t ->
+  result
 (** Interleaves expression folding, cell sharing, SAT elimination,
     restructuring and cleanup until a fixpoint (capped at 6 iterations —
-    measured convergence is 2-4). *)
+    measured convergence is 2-4).  [after_pass] runs after each sub-pass
+    (["opt_expr"], ["opt_merge"], ["sat_elim"], ["restructure"],
+    ["opt_clean"]) with the circuit as that pass left it; the lint
+    subsystem's invariant checker hooks in here. *)
 
 val optimize_and_measure :
   [ `None | `Yosys | `Smartly of Config.t ] -> Circuit.t -> int

@@ -33,7 +33,13 @@ type expr =
   | E_binary of binary_op * expr * expr
   | E_ternary of expr * expr * expr
 
-type stmt =
+(* Statements, declarations and module items carry the source span of
+   their defining tokens ([Loc.dummy] when built programmatically), so
+   lint diagnostics and elaboration errors can point at source lines. *)
+
+type stmt = { sdesc : stmt_desc; sloc : Loc.span }
+
+and stmt_desc =
   | S_assign of string * expr (* blocking assignment to a reg *)
   | S_if of expr * stmt list * stmt list
   | S_case of case_stmt
@@ -41,21 +47,32 @@ type stmt =
 and case_stmt = {
   is_casez : bool;
   subject : expr;
-  items : (constant list * stmt list) list;
+  items : case_item list;
   default : stmt list option;
 }
 
+and case_item = { pats : constant list; body : stmt list; iloc : Loc.span }
+
 type decl_kind = D_input | D_output | D_output_reg | D_wire | D_reg
 
-type decl = { kind : decl_kind; dname : string; range : (int * int) option }
+type decl = {
+  kind : decl_kind;
+  dname : string;
+  range : (int * int) option;
+  dloc : Loc.span; (* the declared identifier *)
+}
 
 type item =
   | I_decl of decl
-  | I_assign of string * expr (* continuous assignment *)
-  | I_always of stmt list (* always @* *)
-  | I_always_ff of string * stmt list (* always @(posedge clk) *)
+  | I_assign of { lhs : string; rhs : expr; aloc : Loc.span }
+      (* continuous assignment *)
+  | I_always of { body : stmt list; aloc : Loc.span } (* always @* *)
+  | I_always_ff of { clock : string; body : stmt list; aloc : Loc.span }
+      (* always @(posedge clk) *)
 
 type module_ = { mname : string; items : item list }
+
+let stmt ?(loc = Loc.dummy) sdesc = { sdesc; sloc = loc }
 
 let decl_width d =
   match d.range with Some (msb, lsb) -> msb - lsb + 1 | None -> 1

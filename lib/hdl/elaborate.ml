@@ -11,9 +11,7 @@
 
 open Netlist
 
-exception Elab_error of string
-
-let fail fmt = Fmt.kstr (fun m -> raise (Elab_error m)) fmt
+exception Elab_error of string * Loc.span option
 
 type case_style = [ `Chain | `Balanced | `Pmux ]
 
@@ -24,12 +22,17 @@ type ctx = {
   mutable ff_mode : bool;
       (* inside always @(posedge): expression reads see the pre-state
          registers, not earlier non-blocking assignments *)
+  mutable cur_loc : Loc.span option;
+      (* span of the statement or item being elaborated, for errors *)
 }
+
+let fail ctx fmt =
+  Fmt.kstr (fun m -> raise (Elab_error (m, ctx.cur_loc))) fmt
 
 let lookup_wire ctx name =
   match Hashtbl.find_opt ctx.names name with
   | Some w -> w
-  | None -> fail "undeclared identifier %s" name
+  | None -> fail ctx "undeclared identifier %s" name
 
 (* --- constants --- *)
 
@@ -70,12 +73,12 @@ let rec elab_expr ctx (env : env) (e : Ast.expr) : Bits.sigspec =
   | Ast.E_select (name, i) ->
     let v = read_value ctx env name in
     if i < 0 || i >= Bits.width v then
-      fail "index %d out of range for %s" i name;
+      fail ctx "index %d out of range for %s" i name;
     [| v.(i) |]
   | Ast.E_range (name, msb, lsb) ->
     let v = read_value ctx env name in
     if lsb < 0 || msb >= Bits.width v || msb < lsb then
-      fail "range [%d:%d] out of range for %s" msb lsb name;
+      fail ctx "range [%d:%d] out of range for %s" msb lsb name;
     Bits.slice v ~off:lsb ~len:(msb - lsb + 1)
   | Ast.E_concat parts ->
     (* Verilog writes MSB part first; sigspecs are LSB first *)
@@ -253,7 +256,8 @@ let merge ctx base branches =
   | `Pmux -> merge_pmux ctx base branches
 
 let rec elab_stmt ctx (env : env) (s : Ast.stmt) : env =
-  match s with
+  if not (Loc.is_dummy s.Ast.sloc) then ctx.cur_loc <- Some s.Ast.sloc;
+  match s.Ast.sdesc with
   | Ast.S_assign (name, e) ->
     let w = lookup_wire ctx name in
     let v = extend_to w.Circuit.width (elab_expr ctx env e) in
@@ -295,9 +299,10 @@ let rec elab_stmt ctx (env : env) (s : Ast.stmt) : env =
     let match_all_wildcard = Bits.C1 in
     let branches =
       List.map
-        (fun (pats, body) ->
+        (fun { Ast.pats; body; iloc } ->
+          if not (Loc.is_dummy iloc) then ctx.cur_loc <- Some iloc;
           if (not is_casez) && List.exists Ast.const_has_wildcard pats then
-            fail "wildcard pattern in plain case (use casez)";
+            fail ctx "wildcard pattern in plain case (use casez)";
           let sels =
             List.map
               (fun p -> pattern_select ctx ~subject:subj p ~match_all_wildcard)
@@ -355,15 +360,23 @@ let drive_wire ctx (w : Circuit.wire) (v : Bits.sigspec) =
 let elaborate ?(style : case_style = `Chain) (m : Ast.module_) : Circuit.t =
   let circuit = Circuit.create m.Ast.mname in
   let ctx =
-    { circuit; names = Hashtbl.create 16; style; ff_mode = false }
+    {
+      circuit;
+      names = Hashtbl.create 16;
+      style;
+      ff_mode = false;
+      cur_loc = None;
+    }
   in
+  let set_loc sp = ctx.cur_loc <- (if Loc.is_dummy sp then None else Some sp) in
   (* declarations first *)
   List.iter
     (fun item ->
       match item with
       | Ast.I_decl d ->
+        set_loc d.Ast.dloc;
         if Hashtbl.mem ctx.names d.Ast.dname then
-          fail "duplicate declaration of %s" d.Ast.dname
+          fail ctx "duplicate declaration of %s" d.Ast.dname
         else begin
           let width = Ast.decl_width d in
           let w =
@@ -383,18 +396,21 @@ let elaborate ?(style : case_style = `Chain) (m : Ast.module_) : Circuit.t =
     (fun item ->
       match item with
       | Ast.I_decl _ -> ()
-      | Ast.I_assign (name, e) ->
-        let w = lookup_wire ctx name in
-        drive_wire ctx w (elab_expr ctx Env.empty e)
-      | Ast.I_always stmts ->
-        let env = elab_stmts ctx Env.empty stmts in
+      | Ast.I_assign { lhs; rhs; aloc } ->
+        set_loc aloc;
+        let w = lookup_wire ctx lhs in
+        drive_wire ctx w (elab_expr ctx Env.empty rhs)
+      | Ast.I_always { body; aloc } ->
+        set_loc aloc;
+        let env = elab_stmts ctx Env.empty body in
         Env.iter
           (fun name v -> drive_wire ctx (lookup_wire ctx name) v)
           env
-      | Ast.I_always_ff (_clock, stmts) ->
+      | Ast.I_always_ff { clock = _; body; aloc } ->
         (* single implicit clock domain; reads see pre-state registers *)
+        set_loc aloc;
         ctx.ff_mode <- true;
-        let env = elab_stmts ctx Env.empty stmts in
+        let env = elab_stmts ctx Env.empty body in
         ctx.ff_mode <- false;
         Env.iter
           (fun name v ->

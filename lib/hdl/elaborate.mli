@@ -11,7 +11,10 @@
     [always @(posedge clk)] blocks infer dff cells, with non-blocking
     reads seeing the pre-state registers (one implicit clock domain). *)
 
-exception Elab_error of string
+exception Elab_error of string * Loc.span option
+(** Message plus the source span of the statement, item or declaration
+    being elaborated when the error was raised ([None] for ASTs built
+    without locations). *)
 
 type case_style = [ `Chain | `Balanced | `Pmux ]
 

@@ -34,7 +34,7 @@ type token =
   | MINUS
   | EOF
 
-exception Lex_error of string * int (* message, position *)
+exception Lex_error of string * Loc.pos (* message, position *)
 
 let keywords =
   [
@@ -55,7 +55,7 @@ let digit_value ch =
 
 (* Parse the digits of a sized literal in the given base into LSB-first
    cbits of the target width; 'z' and '?' become wildcards. *)
-let sized_constant ~width ~base digits pos : Ast.constant =
+let sized_constant ~width ~base digits (pos : Loc.pos) : Ast.constant =
   let bits_per_digit =
     match base with 'b' -> 1 | 'o' -> 3 | 'h' -> 4 | 'd' -> 0 | _ ->
       raise (Lex_error (Printf.sprintf "bad base '%c'" base, pos))
@@ -101,10 +101,13 @@ let sized_constant ~width ~base digits pos : Ast.constant =
   in
   { Ast.cwidth = width; cbits }
 
-let tokenize (src : string) : (token * int) list =
+let tokenize (src : string) : (token * Loc.pos) list =
   let n = String.length src in
+  let lm = Loc.line_map src in
+  let pos_of off = Loc.pos_of_offset lm off in
   let tokens = ref [] in
-  let push tok pos = tokens := (tok, pos) :: !tokens in
+  let push tok off = tokens := (tok, pos_of off) :: !tokens in
+  let lex_error msg off = raise (Lex_error (msg, pos_of off)) in
   let i = ref 0 in
   while !i < n do
     let start = !i in
@@ -125,7 +128,7 @@ let tokenize (src : string) : (token * int) list =
         end
         else incr i
       done;
-      if not !closed then raise (Lex_error ("unterminated comment", start))
+      if not !closed then lex_error "unterminated comment" start
     end
     else if is_ident_start ch then begin
       while !i < n && is_ident_char src.[!i] do
@@ -147,7 +150,7 @@ let tokenize (src : string) : (token * int) list =
                (String.split_on_char '_' (String.sub src start (!i - start))))
         in
         incr i;
-        if !i >= n then raise (Lex_error ("truncated literal", start));
+        if !i >= n then lex_error "truncated literal" start;
         let base = Char.lowercase_ascii src.[!i] in
         incr i;
         let dstart = !i in
@@ -158,7 +161,7 @@ let tokenize (src : string) : (token * int) list =
           incr i
         done;
         let digits = String.sub src dstart (!i - dstart) in
-        push (SIZED (sized_constant ~width ~base digits start)) start
+        push (SIZED (sized_constant ~width ~base digits (pos_of start))) start
       end
       else begin
         let txt =
@@ -191,7 +194,7 @@ let tokenize (src : string) : (token * int) list =
           incr i;
           push NONBLOCK start
         end
-        else raise (Lex_error ("'<' is only valid in '<='", start))
+        else lex_error "'<' is only valid in '<='" start
       | '=' ->
         if next () = Some '=' then begin
           incr i;
@@ -228,7 +231,7 @@ let tokenize (src : string) : (token * int) list =
           push XNOR_OP start
         end
         else push TILDE start
-      | c -> raise (Lex_error (Printf.sprintf "unexpected character '%c'" c, start))
+      | c -> lex_error (Printf.sprintf "unexpected character '%c'" c) start
     end
   done;
   push EOF n;

@@ -33,9 +33,11 @@ type token =
   | MINUS
   | EOF
 
-exception Lex_error of string * int  (** message, byte position *)
+exception Lex_error of string * Loc.pos  (** message, source position *)
 
-val tokenize : string -> (token * int) list
-(** Tokens paired with their byte positions; line and block comments are
-    skipped.  The list ends with [EOF].
-    @raise Lex_error on invalid input. *)
+val tokenize : string -> (token * Loc.pos) list
+(** Tokens paired with their source positions (byte offset + 1-based
+    line/column); line and block comments are skipped.  The list ends with
+    [EOF].
+    @raise Lex_error on invalid input, with the line/column of the
+    offending character. *)

@@ -1,16 +1,33 @@
-(* Recursive-descent parser for the Verilog subset. *)
+(* Recursive-descent parser for the Verilog subset.
 
-exception Parse_error of string * int (* message, source position *)
+   Tokens carry their source position; the parser threads those positions
+   into spans on declarations, statements and module items, and reports
+   syntax errors with line/column. *)
 
-type state = { mutable toks : (Lexer.token * int) list }
+exception Parse_error of string * Loc.pos (* message, source position *)
+
+type state = {
+  mutable toks : (Lexer.token * Loc.pos) list;
+  mutable last : Loc.pos; (* position of the last consumed token *)
+}
 
 let peek st =
   match st.toks with
   | (t, p) :: _ -> t, p
-  | [] -> Lexer.EOF, 0
+  | [] -> Lexer.EOF, st.last
 
 let advance st =
-  match st.toks with (_ :: rest) -> st.toks <- rest | [] -> ()
+  match st.toks with
+  | (_, p) :: rest ->
+    st.last <- p;
+    st.toks <- rest
+  | [] -> ()
+
+(* Position of the next token: where a construct starting here begins. *)
+let here st = snd (peek st)
+
+(* Span from [start] to the last consumed token. *)
+let span_from st (start : Loc.pos) : Loc.span = Loc.span start st.last
 
 let error st msg =
   let _, p = peek st in
@@ -195,6 +212,8 @@ and parse_primary st =
 (* --- statements --- *)
 
 let rec parse_stmt st : Ast.stmt =
+  let start = here st in
+  let located sdesc = { Ast.sdesc; sloc = span_from st start } in
   match peek st with
   | Lexer.KW "if", _ ->
     advance st;
@@ -209,7 +228,7 @@ let rec parse_stmt st : Ast.stmt =
         parse_block st
       | _ -> []
     in
-    Ast.S_if (cond, then_, else_)
+    located (Ast.S_if (cond, then_, else_))
   | Lexer.KW "case", _ | Lexer.KW "casez", _ ->
     let is_casez = fst (peek st) = Lexer.KW "casez" in
     advance st;
@@ -229,6 +248,7 @@ let rec parse_stmt st : Ast.stmt =
         default := Some (parse_block st);
         loop ()
       | _ ->
+        let istart = here st in
         let rec patterns acc =
           let c =
             match peek st with
@@ -249,12 +269,13 @@ let rec parse_stmt st : Ast.stmt =
         let pats = patterns [] in
         expect st Lexer.COLON "expected ':' after case pattern";
         let body = parse_block st in
-        items := (pats, body) :: !items;
+        items := { Ast.pats; body; iloc = span_from st istart } :: !items;
         loop ()
     in
     loop ();
-    Ast.S_case
-      { Ast.is_casez; subject; items = List.rev !items; default = !default }
+    located
+      (Ast.S_case
+         { Ast.is_casez; subject; items = List.rev !items; default = !default })
   | Lexer.IDENT name, _ ->
     advance st;
     (match peek st with
@@ -262,7 +283,7 @@ let rec parse_stmt st : Ast.stmt =
     | _ -> error st "expected '=' or '<=' in assignment");
     let e = parse_expr st in
     expect st Lexer.SEMI "expected ';'";
-    Ast.S_assign (name, e)
+    located (Ast.S_assign (name, e))
   | _ -> error st "expected statement"
 
 and parse_block st : Ast.stmt list =
@@ -312,11 +333,15 @@ let parse_decl_kind st : Ast.decl_kind option =
     Some Ast.D_reg
   | _ -> None
 
-(* one declaration possibly naming several identifiers *)
+(* one declaration possibly naming several identifiers; each gets the span
+   of its own identifier token *)
 let parse_decl_names st kind range acc =
   let rec loop acc =
+    let dpos = here st in
     let name = expect_ident st "expected identifier in declaration" in
-    let acc = { Ast.kind; dname = name; range } :: acc in
+    let acc =
+      { Ast.kind; dname = name; range; dloc = Loc.of_pos dpos } :: acc
+    in
     match peek st with
     | Lexer.COMMA, _ -> (
       advance st;
@@ -355,6 +380,7 @@ let parse_port_list st : Ast.decl list =
   loop []
 
 let parse_item st : Ast.item list =
+  let start = here st in
   match peek st with
   | Lexer.KW "assign", _ ->
     advance st;
@@ -362,26 +388,29 @@ let parse_item st : Ast.item list =
     expect st Lexer.EQUAL "expected '='";
     let e = parse_expr st in
     expect st Lexer.SEMI "expected ';'";
-    [ Ast.I_assign (name, e) ]
+    [ Ast.I_assign { lhs = name; rhs = e; aloc = span_from st start } ]
   | Lexer.KW "always", _ -> (
     advance st;
     expect st Lexer.AT "expected '@' after always";
     match peek st with
     | Lexer.STAR, _ ->
       advance st;
-      [ Ast.I_always (parse_block st) ]
+      [ Ast.I_always { body = parse_block st; aloc = span_from st start } ]
     | Lexer.LPAREN, _ -> (
       advance st;
       match peek st with
       | Lexer.STAR, _ ->
         advance st;
         expect st Lexer.RPAREN "expected ')'";
-        [ Ast.I_always (parse_block st) ]
+        [ Ast.I_always { body = parse_block st; aloc = span_from st start } ]
       | Lexer.KW ("posedge" | "negedge"), _ ->
         advance st;
         let clock = expect_ident st "expected clock signal" in
         expect st Lexer.RPAREN "expected ')'";
-        [ Ast.I_always_ff (clock, parse_block st) ]
+        [
+          Ast.I_always_ff
+            { clock; body = parse_block st; aloc = span_from st start };
+        ]
       | _ -> error st "expected '*' or posedge/negedge")
     | _ -> error st "expected '@*' or '@(posedge clk)'")
   | _ -> (
@@ -419,7 +448,7 @@ let parse_module st : Ast.module_ =
   { Ast.mname; items = List.map (fun d -> Ast.I_decl d) ports @ body }
 
 let parse_string (src : string) : Ast.module_ =
-  let st = { toks = Lexer.tokenize src } in
+  let st = { toks = Lexer.tokenize src; last = Loc.dummy_pos } in
   let m = parse_module st in
   (match peek st with
   | Lexer.EOF, _ -> ()

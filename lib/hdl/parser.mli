@@ -3,8 +3,12 @@
     [case]/[casez], and the usual expression grammar with standard
     precedences. *)
 
-exception Parse_error of string * int  (** message, byte position *)
+exception Parse_error of string * Loc.pos
+(** Message plus the source position (byte offset and 1-based
+    line/column) of the offending token. *)
 
 val parse_string : string -> Ast.module_
-(** @raise Parse_error on syntax errors
+(** The returned AST carries source spans on declarations, statements,
+    case items and module items (see {!Loc}).
+    @raise Parse_error on syntax errors
     @raise Lexer.Lex_error on lexical errors *)

@@ -1,0 +1,63 @@
+(* Per-pass invariant checking.
+
+   The checker keeps a deep copy of the last circuit that passed, so a
+   pass that corrupts the netlist in place cannot also corrupt the
+   reference we compare against.  First failure wins: optimization flows
+   run passes to a fixpoint, and naming the first offender is what makes
+   the report actionable. *)
+
+type failure = { pass : string; detail : string; diags : Diag.t list }
+
+type t = {
+  mutable prev : Netlist.Circuit.t;  (** last known-good snapshot *)
+  equiv : bool;
+  budget : int option;
+  mutable checks : int;
+  mutable failed : failure option;
+}
+
+let create ?(equiv = true) ?budget (c : Netlist.Circuit.t) : t =
+  { prev = Netlist.Circuit.copy c; equiv; budget; checks = 0; failed = None }
+
+let checks_run t = t.checks
+let failure t = t.failed
+let ok t = t.failed = None
+
+let after_pass t pass (c : Netlist.Circuit.t) : unit =
+  if t.failed = None then begin
+    t.checks <- t.checks + 1;
+    let errors =
+      List.filter
+        (fun d -> d.Diag.severity = Diag.Error)
+        (Rules_netlist.check c)
+    in
+    if errors <> [] then
+      t.failed <-
+        Some
+          { pass;
+            detail =
+              Fmt.str "circuit is no longer well-formed (%d errors)"
+                (List.length errors);
+            diags = errors }
+    else if t.equiv then begin
+      match Equiv.check ?budget:t.budget t.prev c with
+      | Equiv.Not_equivalent output ->
+        t.failed <-
+          Some
+            { pass;
+              detail =
+                Fmt.str
+                  "not equivalent to the pre-pass circuit (output '%s' \
+                   differs)"
+                  output;
+              diags = [] }
+      | Equiv.Equivalent | Equiv.Inconclusive ->
+        (* Inconclusive (budget exhausted) is not a violation *)
+        t.prev <- Netlist.Circuit.copy c
+    end
+    else t.prev <- Netlist.Circuit.copy c
+  end
+
+let pp_failure ppf f =
+  Fmt.pf ppf "invariant violated after pass '%s': %s" f.pass f.detail;
+  List.iter (fun d -> Fmt.pf ppf "@,  %a" Diag.pp d) f.diags

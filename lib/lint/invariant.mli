@@ -1,0 +1,32 @@
+(** Per-pass invariant checking for the optimization flows.
+
+    Create a checker from the starting circuit, then call {!after_pass}
+    from a flow's [?after_pass] hook.  Each call re-validates the circuit
+    (netlist well-formedness plus error-severity structural lint) and
+    checks SAT equivalence against the last known-good snapshot.  The
+    first violated invariant is recorded with the name of the pass that
+    broke it; later calls become no-ops so the report always names the
+    *first* offender. *)
+
+type failure = {
+  pass : string;  (** the pass after which the invariant first failed *)
+  detail : string;
+  diags : Diag.t list;  (** error diagnostics, for validation failures *)
+}
+
+type t
+
+val create : ?equiv:bool -> ?budget:int -> Netlist.Circuit.t -> t
+(** [equiv] (default [true]) enables the SAT equivalence check between
+    consecutive snapshots; [budget] is the per-candidate conflict cap
+    passed to {!Equiv.check}. *)
+
+val after_pass : t -> string -> Netlist.Circuit.t -> unit
+(** Run the checks against the circuit as pass [name] left it.  No-op
+    once a failure has been recorded. *)
+
+val checks_run : t -> int
+val failure : t -> failure option
+val ok : t -> bool
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,70 @@
+(* Central declaration of every lint rule.  Rules_hdl and Rules_netlist
+   emit diagnostics whose [rule] field must name an entry here; the test
+   suite enforces that and the CLI rejects waivers of unknown ids. *)
+
+type layer = Hdl | Netlist | Flow
+
+type rule = {
+  id : string;
+  title : string;
+  layer : layer;
+  default_severity : Diag.severity;
+  explain : string;
+}
+
+let layer_name = function Hdl -> "hdl" | Netlist -> "netlist" | Flow -> "flow"
+
+let r id title layer default_severity explain =
+  { id; title; layer; default_severity; explain }
+
+let all =
+  [
+    r "HDL000" "frontend failure" Hdl Diag.Error
+      "the source failed to lex, parse or elaborate; the message carries \
+       the frontend error";
+    r "HDL001" "incomplete case" Hdl Diag.Warning
+      "a case/casez without a default whose items do not cover every \
+       subject value infers a latch-like feedback mux";
+    r "HDL002" "unreachable or overlapping case item" Hdl Diag.Warning
+      "an item fully shadowed by earlier items never runs (warning); a \
+       casez item partially overlapping an earlier one depends on \
+       priority order (info)";
+    r "HDL003" "multiple drivers" Hdl Diag.Error
+      "a name assigned from more than one always block or continuous \
+       assign elaborates to conflicting drivers";
+    r "HDL004" "width truncation" Hdl Diag.Warning
+      "the right-hand side carries more significant bits than the \
+       assigned name can hold; the extra bits are silently dropped";
+    r "HDL005" "read before write" Hdl Diag.Warning
+      "an always @* block reads a reg it assigns before every path has \
+       assigned it, creating combinational feedback on the old value";
+    r "NL001" "constant mux select" Netlist Diag.Warning
+      "a mux/pmux select pin is tied to a constant, so one branch is \
+       statically chosen (opt_expr removes these)";
+    r "NL002" "dead mux branch" Netlist Diag.Warning
+      "both branches of a mux are identical, or a pmux lists the same \
+       select bit twice; the select cannot influence the output";
+    r "NL003" "duplicate eq chain" Netlist Diag.Info
+      "several eq cells compare the same signal against the same \
+       constant; opt_merge folds them into one comparator";
+    r "NL004" "floating input" Netlist Diag.Warning
+      "a module input drives nothing (clock-named inputs are exempt: the \
+       single implicit clock never appears in the netlist)";
+    r "NL005" "multiple drivers" Netlist Diag.Error
+      "a wire bit is driven by more than one cell output";
+    r "NL006" "undriven bit" Netlist Diag.Error
+      "a wire bit is read by a cell or exported as an output but nothing \
+       drives it";
+    r "NL007" "width violation" Netlist Diag.Error
+      "a cell's port widths are inconsistent";
+    r "NL008" "unknown wire" Netlist Diag.Error
+      "a cell references a wire id missing from the wire table";
+    r "NL009" "combinational cycle" Netlist Diag.Error
+      "combinational cells form a loop; the message names the cells on \
+       one shortest cycle";
+  ]
+
+let all = List.sort (fun a b -> String.compare a.id b.id) all
+
+let find id = List.find_opt (fun rule -> rule.id = id) all
+let is_known id = find id <> None

@@ -1,0 +1,21 @@
+(** The rule registry: every diagnostic a lint pass can emit is declared
+    here with its id, layer, default severity and a one-line explanation.
+    The CLI uses it to validate [--waive] arguments and to print the rule
+    list; tests use it to check every shipped rule is exercised. *)
+
+type layer = Hdl | Netlist | Flow
+
+type rule = {
+  id : string;  (** e.g. ["HDL001"] *)
+  title : string;
+  layer : layer;
+  default_severity : Diag.severity;
+  explain : string;
+}
+
+val all : rule list
+(** Sorted by id. *)
+
+val find : string -> rule option
+val is_known : string -> bool
+val layer_name : layer -> string

@@ -1,0 +1,382 @@
+(* AST-level lint rules.
+
+   HDL001  case without default that does not cover every subject value
+   HDL002  unreachable case item (warning) / overlapping casez item (info)
+   HDL003  name driven from more than one always block / continuous assign
+   HDL004  assignment truncates significant bits
+   HDL005  always @* reads a reg before every path has assigned it
+
+   Everything works on the located AST so diagnostics carry source spans;
+   [Loc.dummy] spans (programmatic ASTs) simply yield span-less
+   diagnostics. *)
+
+open Hdl
+module SS = Set.Make (String)
+module SM = Map.Make (String)
+
+let coverage_limit = 16
+
+let span_opt (sp : Loc.span) = if Loc.is_dummy sp then None else Some sp
+
+(* --- declared widths --- *)
+
+let widths_of (m : Ast.module_) : int SM.t =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Ast.I_decl d -> SM.add d.Ast.dname (Ast.decl_width d) acc
+      | Ast.I_assign _ | Ast.I_always _ | Ast.I_always_ff _ -> acc)
+    SM.empty m.Ast.items
+
+(* --- expression widths ---
+
+   [expr_width] mirrors the elaborator: binary operands extend to the max
+   operand width, comparisons and logic ops produce one bit, concat sums.
+   [eff_width] is the width needed for the *significant* bits, used by the
+   truncation rule: constants shrink to their highest set bit (so unsized
+   decimal literals, parsed as 32-bit constants, do not warn), and
+   wraparound arithmetic (add/sub) deliberately does not count its carry
+   bit — `count = count + 1` is idiomatic, not a truncation bug. *)
+
+let rec expr_width widths (e : Ast.expr) : int =
+  match e with
+  | Ast.E_ident n -> ( match SM.find_opt n widths with Some w -> w | None -> 1)
+  | Ast.E_const c -> c.Ast.cwidth
+  | Ast.E_select _ -> 1
+  | Ast.E_range (_, msb, lsb) -> (msb - lsb + 1) |> max 1
+  | Ast.E_concat parts ->
+    List.fold_left (fun acc p -> acc + expr_width widths p) 0 parts
+  | Ast.E_unary (Ast.U_not, a) -> expr_width widths a
+  | Ast.E_unary ((Ast.U_lnot | Ast.U_rand | Ast.U_ror | Ast.U_rxor), _) -> 1
+  | Ast.E_binary ((Ast.B_eq | Ast.B_ne | Ast.B_land | Ast.B_lor), _, _) -> 1
+  | Ast.E_binary (_, a, b) -> max (expr_width widths a) (expr_width widths b)
+  | Ast.E_ternary (_, t, e) -> max (expr_width widths t) (expr_width widths e)
+
+let const_eff_width (c : Ast.constant) : int =
+  let best = ref 0 in
+  List.iteri (fun i b -> if b <> Ast.B0 then best := i + 1) c.Ast.cbits;
+  max 1 !best
+
+let rec eff_width widths (e : Ast.expr) : int =
+  match e with
+  | Ast.E_const c -> const_eff_width c
+  | Ast.E_ident _ | Ast.E_select _ | Ast.E_range _ -> expr_width widths e
+  | Ast.E_concat parts -> (
+    (* MSB part first: only the leading part's significant bits can shrink
+       the total; lower parts occupy their full positional width *)
+    match parts with
+    | [] -> 0
+    | msb :: rest ->
+      eff_width widths msb
+      + List.fold_left (fun acc p -> acc + expr_width widths p) 0 rest)
+  | Ast.E_unary (Ast.U_not, a) ->
+    (* ~ turns high zeros into ones: full structural width *)
+    expr_width widths a
+  | Ast.E_unary ((Ast.U_lnot | Ast.U_rand | Ast.U_ror | Ast.U_rxor), _) -> 1
+  | Ast.E_binary ((Ast.B_eq | Ast.B_ne | Ast.B_land | Ast.B_lor), _, _) -> 1
+  | Ast.E_binary (Ast.B_and, a, b) ->
+    (* masking: a 1 bit needs a 1 in both operands *)
+    min (eff_width widths a) (eff_width widths b)
+  | Ast.E_binary ((Ast.B_or | Ast.B_xor), a, b) ->
+    max (eff_width widths a) (eff_width widths b)
+  | Ast.E_binary (Ast.B_xnor, a, b) ->
+    (* xnor of two zero bits is one: full structural width *)
+    max (expr_width widths a) (expr_width widths b)
+  | Ast.E_binary ((Ast.B_add | Ast.B_sub), a, b) ->
+    (* wraparound is idiomatic; flag only operand-driven growth *)
+    max (eff_width widths a) (eff_width widths b)
+  | Ast.E_ternary (_, t, e) -> max (eff_width widths t) (eff_width widths e)
+
+(* --- reads / assigns of statement trees --- *)
+
+let rec expr_reads acc (e : Ast.expr) : SS.t =
+  match e with
+  | Ast.E_ident n | Ast.E_select (n, _) | Ast.E_range (n, _, _) -> SS.add n acc
+  | Ast.E_const _ -> acc
+  | Ast.E_concat es -> List.fold_left expr_reads acc es
+  | Ast.E_unary (_, a) -> expr_reads acc a
+  | Ast.E_binary (_, a, b) -> expr_reads (expr_reads acc a) b
+  | Ast.E_ternary (a, b, c) -> expr_reads (expr_reads (expr_reads acc a) b) c
+
+let rec stmts_assigned stmts =
+  List.fold_left (fun acc s -> SS.union acc (stmt_assigned s)) SS.empty stmts
+
+and stmt_assigned (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.S_assign (n, _) -> SS.singleton n
+  | Ast.S_if (_, t, e) -> SS.union (stmts_assigned t) (stmts_assigned e)
+  | Ast.S_case { Ast.items; default; _ } ->
+    let base =
+      match default with Some b -> stmts_assigned b | None -> SS.empty
+    in
+    List.fold_left
+      (fun acc it -> SS.union acc (stmts_assigned it.Ast.body))
+      base items
+
+(* --- HDL003: multiple drivers --- *)
+
+let check_drivers emit (m : Ast.module_) =
+  (* each item drives a set of names; a name driven by two items clashes *)
+  let seen : (string, Loc.span) Hashtbl.t = Hashtbl.create 16 in
+  let drive what sp name =
+    match Hashtbl.find_opt seen name with
+    | None -> Hashtbl.replace seen name sp
+    | Some _ ->
+      emit
+        (Diag.error ?span:(span_opt sp) ~rule:"HDL003"
+           (Fmt.str "'%s' is also driven by this %s; a name may have one \
+                     driving assign or always block"
+              name what))
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Ast.I_decl _ -> ()
+      | Ast.I_assign { lhs; aloc; _ } -> drive "continuous assign" aloc lhs
+      | Ast.I_always { body; aloc } ->
+        SS.iter (drive "always block" aloc) (stmts_assigned body)
+      | Ast.I_always_ff { body; aloc; _ } ->
+        SS.iter (drive "always block" aloc) (stmts_assigned body))
+    m.Ast.items
+
+(* --- HDL004: width truncation --- *)
+
+let check_assign_width emit widths sp name rhs =
+  match SM.find_opt name widths with
+  | None -> () (* undeclared: the elaborator reports it *)
+  | Some lw ->
+    let rw = eff_width widths rhs in
+    if rw > lw then
+      emit
+        (Diag.warning ?span:sp ~rule:"HDL004"
+           (Fmt.str
+              "assignment to '%s' truncates a %d-bit value to %d bits" name
+              rw lw))
+
+(* --- HDL001 / HDL002: case coverage and reachability ---
+
+   Pattern semantics copied from the elaborator's [pattern_select]: within
+   the subject width, 0/1 bits constrain, z is a wildcard; bits of a
+   narrow pattern beyond its own width are unconstrained; a 1 bit beyond
+   the subject width makes the pattern unmatchable. *)
+
+let pat_matches ~w (p : Ast.constant) (v : int) : bool =
+  let rec go i = function
+    | [] -> true
+    | b :: rest ->
+      (if i >= w then b <> Ast.B1
+       else
+         match b with
+         | Ast.B0 -> (v lsr i) land 1 = 0
+         | Ast.B1 -> (v lsr i) land 1 = 1
+         | Ast.Bz -> true)
+      && go (i + 1) rest
+  in
+  go 0 p.Ast.cbits
+
+let pat_unmatchable ~w (p : Ast.constant) : bool =
+  List.exists (fun (i, b) -> i >= w && b = Ast.B1)
+    (List.mapi (fun i b -> (i, b)) p.Ast.cbits)
+
+(* [comb] is true inside always @* (where an uncovered case feeds a reg
+   back to itself); [assigned] is the must-assign set on entry, so the
+   idiomatic pre-assignment (`y = 0; case (s) ... endcase`) does not
+   warn even without a default arm. *)
+let check_case emit widths ~comb assigned case_sp (cs : Ast.case_stmt) =
+  let w = expr_width widths cs.Ast.subject in
+  let latched =
+    SS.diff
+      (List.fold_left
+         (fun acc (it : Ast.case_item) ->
+           SS.union acc (stmts_assigned it.Ast.body))
+         SS.empty cs.Ast.items)
+      assigned
+  in
+  if w <= coverage_limit && w > 0 then begin
+    let n = 1 lsl w in
+    let covered = Bytes.make ((n + 7) / 8) '\000' in
+    let is_covered v =
+      Char.code (Bytes.get covered (v lsr 3)) land (1 lsl (v land 7)) <> 0
+    in
+    let set_covered v =
+      Bytes.set covered (v lsr 3)
+        (Char.chr (Char.code (Bytes.get covered (v lsr 3)) lor (1 lsl (v land 7))))
+    in
+    let remaining = ref n in
+    List.iter
+      (fun (it : Ast.case_item) ->
+        let fresh = ref false and overlap = ref false in
+        for v = 0 to n - 1 do
+          if List.exists (fun p -> pat_matches ~w p v) it.Ast.pats then
+            if is_covered v then overlap := true
+            else begin
+              fresh := true;
+              set_covered v;
+              decr remaining
+            end
+        done;
+        let isp = span_opt it.Ast.iloc in
+        if not !fresh then
+          emit
+            (Diag.warning ?span:isp ~rule:"HDL002"
+               (if !overlap then
+                  "case item is unreachable: every value it matches is \
+                   covered by earlier items"
+                else "case item matches no value of the subject"))
+        else if !overlap && cs.Ast.is_casez then
+          emit
+            (Diag.info ?span:isp ~rule:"HDL002"
+               "casez item overlaps earlier items; priority order decides"))
+      cs.Ast.items;
+    if comb && cs.Ast.default = None && !remaining > 0 && not (SS.is_empty latched)
+    then begin
+      (* find one uncovered value for the message *)
+      let example = ref 0 in
+      (try
+         for v = 0 to n - 1 do
+           if not (is_covered v) then begin
+             example := v;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      emit
+        (Diag.warning ?span:case_sp ~rule:"HDL001"
+           (Fmt.str
+              "case without default leaves %d of %d subject values \
+               uncovered (e.g. %d); '%s' feeds back its previous value"
+              !remaining n !example
+              (SS.min_elt latched)))
+    end
+  end
+  else begin
+    (* too wide to enumerate: only flag textual duplicates and patterns
+       that can never match *)
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (it : Ast.case_item) ->
+        let isp = span_opt it.Ast.iloc in
+        if List.exists (pat_unmatchable ~w) it.Ast.pats then
+          emit
+            (Diag.warning ?span:isp ~rule:"HDL002"
+               "case item matches no value of the subject")
+        else if
+          it.Ast.pats <> []
+          && List.for_all (fun p -> Hashtbl.mem seen p) it.Ast.pats
+        then
+          emit
+            (Diag.warning ?span:isp ~rule:"HDL002"
+               "case item repeats earlier patterns and is unreachable");
+        List.iter (fun p -> Hashtbl.replace seen p ()) it.Ast.pats)
+      cs.Ast.items
+  end
+
+(* --- statement walker for HDL001/2/4 (all blocks) ---
+
+   Threads the must-assign set (names assigned on every path so far) so
+   the case rule can distinguish a latch-inferring case from one whose
+   targets were pre-assigned. *)
+
+let rec walk_stmts emit widths ~comb assigned stmts =
+  List.fold_left (walk_stmt emit widths ~comb) assigned stmts
+
+and walk_stmt emit widths ~comb assigned (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.S_assign (n, e) ->
+    check_assign_width emit widths (span_opt s.Ast.sloc) n e;
+    SS.add n assigned
+  | Ast.S_if (_, t, e) ->
+    let at = walk_stmts emit widths ~comb assigned t in
+    let ae = walk_stmts emit widths ~comb assigned e in
+    SS.inter at ae
+  | Ast.S_case cs -> (
+    check_case emit widths ~comb assigned (span_opt s.Ast.sloc) cs;
+    let results =
+      List.map
+        (fun (it : Ast.case_item) ->
+          walk_stmts emit widths ~comb assigned it.Ast.body)
+        cs.Ast.items
+      @
+      match cs.Ast.default with
+      | Some b -> [ walk_stmts emit widths ~comb assigned b ]
+      | None -> [ assigned ]
+    in
+    match results with
+    | [] -> assigned
+    | first :: rest -> List.fold_left SS.inter first rest)
+
+(* --- HDL005: read before write in always @* ---
+
+   Must-assign dataflow: walk the block tracking the set of names assigned
+   on *every* path so far; reading a block-assigned name outside that set
+   reads last iteration's value (combinational feedback).  A case without
+   a default contributes an empty fall-through path, so it guarantees
+   nothing beyond the incoming set. *)
+
+let check_read_before_write emit body =
+  let block_assigned = stmts_assigned body in
+  let reported = ref SS.empty in
+  let check_reads assigned sloc e =
+    SS.iter
+      (fun n ->
+        if
+          SS.mem n block_assigned
+          && (not (SS.mem n assigned))
+          && not (SS.mem n !reported)
+        then begin
+          reported := SS.add n !reported;
+          emit
+            (Diag.warning ?span:(span_opt sloc) ~rule:"HDL005"
+               (Fmt.str
+                  "'%s' is read before every path through this always @* \
+                   block assigns it"
+                  n))
+        end)
+      (expr_reads SS.empty e)
+  in
+  let rec walk assigned stmts = List.fold_left walk_stmt assigned stmts
+  and walk_stmt assigned (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Ast.S_assign (n, e) ->
+      check_reads assigned s.Ast.sloc e;
+      SS.add n assigned
+    | Ast.S_if (c, t, e) ->
+      check_reads assigned s.Ast.sloc c;
+      SS.inter (walk assigned t) (walk assigned e)
+    | Ast.S_case { Ast.subject; items; default; _ } -> (
+      check_reads assigned s.Ast.sloc subject;
+      let results =
+        List.map (fun it -> walk assigned it.Ast.body) items
+        @
+        match default with
+        | Some b -> [ walk assigned b ]
+        | None -> [ assigned ]
+      in
+      match results with
+      | [] -> assigned
+      | first :: rest -> List.fold_left SS.inter first rest)
+  in
+  ignore (walk SS.empty body)
+
+(* --- entry point --- *)
+
+let check (m : Ast.module_) : Diag.t list =
+  let widths = widths_of m in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  check_drivers emit m;
+  List.iter
+    (fun item ->
+      match item with
+      | Ast.I_decl _ -> ()
+      | Ast.I_assign { lhs; rhs; aloc } ->
+        check_assign_width emit widths (span_opt aloc) lhs rhs
+      | Ast.I_always { body; _ } ->
+        ignore (walk_stmts emit widths ~comb:true SS.empty body);
+        check_read_before_write emit body
+      | Ast.I_always_ff { body; _ } ->
+        (* holding state through an uncovered case is idiomatic in a
+           clocked block, so HDL001 does not apply there *)
+        ignore (walk_stmts emit widths ~comb:false SS.empty body))
+    m.Ast.items;
+  Diag.sort (List.rev !diags)

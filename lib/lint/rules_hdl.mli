@@ -1,0 +1,19 @@
+(** AST-level lint rules (HDL001..HDL005).
+
+    All rules run on the located AST, before elaboration, so they can
+    point at source lines even for constructs the elaborator rewrites
+    away.  Case-coverage rules mirror the elaborator's pattern semantics
+    exactly: [z] bits and bits beyond the pattern width are wildcards,
+    and a [1] bit beyond the subject width makes the pattern unmatchable.
+
+    Rules needing value enumeration (HDL001 coverage, HDL002
+    reachability) run only when the case subject is at most
+    {!coverage_limit} bits wide; wider cases degrade to textual
+    duplicate-pattern detection. *)
+
+val coverage_limit : int
+(** 16: case subjects up to this width are coverage-checked by
+    enumeration (a 2{^16}-bit set is 8 KiB). *)
+
+val check : Hdl.Ast.module_ -> Diag.t list
+(** Sorted by severity, then rule, then source position. *)

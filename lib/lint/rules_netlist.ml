@@ -1,0 +1,161 @@
+(* Netlist-level lint rules.
+
+   NL001  mux / pmux select tied to a constant
+   NL002  mux with identical branches, pmux with a duplicated select bit
+   NL003  several eq cells comparing one signal against one constant
+   NL004  module input that drives nothing (clock-named inputs exempt)
+   NL005..NL009  Validate issues bridged as errors *)
+
+open Netlist
+
+(* --- Validate bridge --- *)
+
+let of_validate (issues : Validate.issue list) : Diag.t list =
+  List.map
+    (fun issue ->
+      let msg = Fmt.str "%a" Validate.pp_issue issue in
+      match issue with
+      | Validate.Multiple_drivers _ -> Diag.error ~rule:"NL005" msg
+      | Validate.Dangling_wire_bit _ -> Diag.error ~rule:"NL006" msg
+      | Validate.Width_violation (id, _) -> Diag.error ~cell:id ~rule:"NL007" msg
+      | Validate.Unknown_wire _ -> Diag.error ~rule:"NL008" msg
+      | Validate.Cyclic cells ->
+        let cell = match cells with c :: _ -> Some c | [] -> None in
+        Diag.make ?cell ~rule:"NL009" ~severity:Diag.Error msg)
+    issues
+
+(* --- structural rules --- *)
+
+let const_name = function
+  | Bits.C0 -> "0"
+  | Bits.C1 -> "1"
+  | Bits.Cx -> "x"
+  | Bits.Of_wire _ -> assert false
+
+let check_const_selects emit (c : Circuit.t) =
+  Circuit.iter_cells
+    (fun id cell ->
+      match cell with
+      | Cell.Mux { s; _ } when Bits.is_const s ->
+        emit
+          (Diag.warning ~cell:id ~rule:"NL001"
+             (Fmt.str "mux select is constant %s; one branch is statically \
+                       chosen" (const_name s)))
+      | Cell.Pmux { s; _ } ->
+        Array.iteri
+          (fun i b ->
+            if Bits.is_const b then
+              emit
+                (Diag.warning ~cell:id ~rule:"NL001"
+                   (Fmt.str "pmux select bit %d is constant %s" i
+                      (const_name b))))
+          s
+      | _ -> ())
+    c
+
+let check_dead_branches emit (c : Circuit.t) =
+  Circuit.iter_cells
+    (fun id cell ->
+      match cell with
+      | Cell.Mux { a; b; s; _ } when (not (Bits.is_const s)) && Bits.equal a b
+        ->
+        emit
+          (Diag.warning ~cell:id ~rule:"NL002"
+             "mux branches are identical; the select cannot influence the \
+              output")
+      | Cell.Pmux { s; _ } ->
+        let seen = Bits.Bit_tbl.create 8 in
+        Array.iter
+          (fun bit ->
+            if not (Bits.is_const bit) then
+              if Bits.Bit_tbl.mem seen bit then
+                emit
+                  (Diag.warning ~cell:id ~rule:"NL002"
+                     (Fmt.str "pmux lists select bit %a twice; the later \
+                               branch is dead" Bits.pp_bit bit))
+              else Bits.Bit_tbl.replace seen bit ())
+          s
+      | _ -> ())
+    c
+
+(* NL003: eq cells are duplicated when they compare the same signal
+   against the same constant — opt_merge folds these, so surface them as
+   info rather than warning. *)
+let check_duplicate_eq emit (c : Circuit.t) =
+  let groups : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let record key id =
+    match Hashtbl.find_opt groups key with
+    | Some ids -> ids := id :: !ids
+    | None -> Hashtbl.replace groups key (ref [ id ])
+  in
+  Circuit.iter_cells
+    (fun id cell ->
+      match cell with
+      | Cell.Binary { op = Cell.Eq; a; b; _ } ->
+        let key sel cst =
+          Fmt.str "%a==%a" Bits.pp sel Bits.pp cst
+        in
+        if Bits.is_fully_const b && not (Bits.is_fully_const a) then
+          record (key a b) id
+        else if Bits.is_fully_const a && not (Bits.is_fully_const b) then
+          record (key b a) id
+      | _ -> ())
+    c;
+  Hashtbl.fold (fun key ids acc -> (key, List.rev !ids) :: acc) groups []
+  |> List.sort compare
+  |> List.iter (fun (_, ids) ->
+         match ids with
+         | first :: (_ :: _ as rest) ->
+           emit
+             (Diag.info ~cell:first ~rule:"NL003"
+                (Fmt.str
+                   "%d eq cells (%a) compare the same signal against the \
+                    same constant; opt_merge folds them"
+                   (List.length ids)
+                   Fmt.(list ~sep:(any ", ") int)
+                   (first :: rest)))
+         | _ -> ())
+
+let is_clock_name name =
+  let lower = String.lowercase_ascii name in
+  let has_prefix p =
+    String.length lower >= String.length p
+    && String.sub lower 0 (String.length p) = p
+  in
+  has_prefix "clk" || has_prefix "clock"
+
+let check_floating_inputs emit (c : Circuit.t) =
+  let index = Index.build c in
+  let exported =
+    List.fold_left
+      (fun acc (w : Circuit.wire) -> w.Circuit.wire_id :: acc)
+      [] (Circuit.outputs c)
+  in
+  List.iter
+    (fun (w : Circuit.wire) ->
+      let read =
+        List.exists
+          (fun b -> Index.readers index b <> [])
+          (Array.to_list (Circuit.sig_of_wire w))
+      in
+      if
+        (not read)
+        && (not (List.mem w.Circuit.wire_id exported))
+        && not (is_clock_name w.Circuit.wire_name)
+      then
+        emit
+          (Diag.warning ~rule:"NL004"
+             (Fmt.str "input '%s' drives nothing" w.Circuit.wire_name)))
+    (Circuit.inputs c)
+
+let structural (c : Circuit.t) : Diag.t list =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  check_const_selects emit c;
+  check_dead_branches emit c;
+  check_duplicate_eq emit c;
+  check_floating_inputs emit c;
+  Diag.sort (List.rev !diags)
+
+let check (c : Circuit.t) : Diag.t list =
+  Diag.sort (of_validate (Validate.check c) @ structural c)

@@ -1,0 +1,14 @@
+(** Netlist-level lint rules (NL001..NL009).
+
+    [of_validate] bridges {!Netlist.Validate} well-formedness issues into
+    error diagnostics (NL005..NL009); [structural] adds the heuristic
+    rules over well-formed circuits (NL001..NL004).  [check] runs both. *)
+
+open Netlist
+
+val of_validate : Validate.issue list -> Diag.t list
+
+val structural : Circuit.t -> Diag.t list
+
+val check : Circuit.t -> Diag.t list
+(** [of_validate (Validate.check c) @ structural c], sorted. *)

@@ -17,7 +17,15 @@ let sort (c : Circuit.t) : int list =
   let rec visit path id =
     match Hashtbl.find_opt state id with
     | Some 2 -> ()
-    | Some 1 -> raise (Combinational_cycle (id :: path))
+    | Some 1 ->
+      (* [path] is the DFS ancestor chain, most recent first, and contains
+         [id]; trim it so the exception carries exactly the cycle *)
+      let rec take acc = function
+        | [] -> List.rev acc
+        | x :: _ when x = id -> List.rev acc
+        | x :: rest -> take (x :: acc) rest
+      in
+      raise (Combinational_cycle (id :: take [] path))
     | Some _ | None ->
       let cell = Circuit.cell c id in
       if Cell.is_combinational cell then begin

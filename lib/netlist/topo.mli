@@ -2,7 +2,9 @@
     their outputs behave like primary inputs. *)
 
 exception Combinational_cycle of int list
-(** Cell ids on the offending cycle. *)
+(** Exactly the cell ids on one combinational cycle, with no lead-in:
+    each cell in the list reads an output of the next, and the last reads
+    an output of the first. *)
 
 val sort : Circuit.t -> int list
 (** Combinational cells in dependency order (drivers first), then the

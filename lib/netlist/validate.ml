@@ -1,19 +1,79 @@
-(* Well-formedness checks for circuits.  Used by tests and after every
-   optimization pass in debug builds. *)
+(* Well-formedness checks for circuits.  Used by tests, the lint
+   subsystem and the per-pass invariant checker. *)
 
 type issue =
   | Multiple_drivers of Bits.bit
   | Dangling_wire_bit of Bits.bit (* read but never driven *)
   | Width_violation of int * string (* cell id, message *)
   | Unknown_wire of int (* referenced wire id missing from the wire table *)
-  | Cyclic
+  | Cyclic of int list (* cell ids on one combinational cycle *)
 
 let pp_issue ppf = function
   | Multiple_drivers b -> Fmt.pf ppf "multiple drivers for %a" Bits.pp_bit b
   | Dangling_wire_bit b -> Fmt.pf ppf "bit %a read but undriven" Bits.pp_bit b
   | Width_violation (id, m) -> Fmt.pf ppf "cell %d: %s" id m
   | Unknown_wire id -> Fmt.pf ppf "unknown wire %d" id
-  | Cyclic -> Fmt.pf ppf "combinational cycle"
+  | Cyclic [] -> Fmt.string ppf "combinational cycle"
+  | Cyclic (first :: _ as cells) ->
+    (* close the loop in the printout: 3 -> 7 -> 3 *)
+    Fmt.pf ppf "combinational cycle: %a -> %d"
+      Fmt.(list ~sep:(any " -> ") int)
+      cells first
+
+(* Shortest combinational cycle through any cell of [seed], found by BFS
+   over the cell fanout graph.  [seed] comes from the DFS cycle raised by
+   {!Topo.sort}, so a cycle through one of its cells always exists. *)
+let shortest_cycle (c : Circuit.t) (seed : int list) : int list =
+  let index = Index.build c in
+  let successors id =
+    (* combinational cells reading any output bit of [id] *)
+    let cell = Circuit.cell c id in
+    List.concat_map
+      (fun b -> Index.readers index b)
+      (Cell.output_bits cell)
+    |> List.sort_uniq compare
+    |> List.filter (fun rid -> Cell.is_combinational (Circuit.cell c rid))
+  in
+  let best = ref [] in
+  let consider cycle =
+    if !best = [] || List.length cycle < List.length !best then best := cycle
+  in
+  List.iter
+    (fun start ->
+      (* BFS from [start]'s successors back to [start] *)
+      let parent = Hashtbl.create 64 in
+      let queue = Queue.create () in
+      let found = ref false in
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem parent s) then begin
+            Hashtbl.replace parent s start;
+            Queue.push s queue
+          end)
+        (successors start);
+      while (not !found) && not (Queue.is_empty queue) do
+        let id = Queue.pop queue in
+        if id = start then found := true
+        else
+          List.iter
+            (fun s ->
+              if not (Hashtbl.mem parent s) then begin
+                Hashtbl.replace parent s id;
+                Queue.push s queue
+              end)
+            (successors id)
+      done;
+      if !found then begin
+        (* walk parents back from [start] to recover the cycle in fanout
+           order: start -> n1 -> ... -> nk (-> start) *)
+        let rec back acc id =
+          let p = Hashtbl.find parent id in
+          if p = start then p :: acc else back (p :: acc) p
+        in
+        consider (back [] start)
+      end)
+    seed;
+  if !best = [] then seed else !best
 
 let check (c : Circuit.t) : issue list =
   let issues = ref [] in
@@ -52,7 +112,10 @@ let check (c : Circuit.t) : issue list =
     (fun _ cell -> List.iter check_read (Cell.input_bits cell))
     c;
   List.iter check_read (Circuit.output_bits c);
-  if not (Topo.is_acyclic c) then add Cyclic;
+  (match Topo.sort c with
+  | _ -> ()
+  | exception Topo.Combinational_cycle dfs_cycle ->
+    add (Cyclic (shortest_cycle c dfs_cycle)));
   List.rev !issues
 
 let is_well_formed c = check c = []

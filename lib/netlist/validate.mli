@@ -6,9 +6,13 @@ type issue =
   | Dangling_wire_bit of Bits.bit  (** read or exported but never driven *)
   | Width_violation of int * string  (** cell id, message *)
   | Unknown_wire of int
-  | Cyclic
+  | Cyclic of int list
+      (** A concrete witness: the cell ids on one shortest combinational
+          cycle through the loop the topological sort found. *)
 
 val pp_issue : Format.formatter -> issue -> unit
+(** [Cyclic] prints the witness path, e.g.
+    ["combinational cycle: 3 -> 7 -> 3"]. *)
 
 val check : Circuit.t -> issue list
 val is_well_formed : Circuit.t -> bool

@@ -13,7 +13,7 @@ let pp_report ppf r =
   Fmt.pf ppf "iters=%d expr=%d muxtree=%d removed=%d" r.iterations
     r.expr_folded r.muxtree_changes r.cells_removed
 
-let baseline (c : Netlist.Circuit.t) : report =
+let baseline ?(after_pass = fun _ _ -> ()) (c : Netlist.Circuit.t) : report =
   Obs.Trace.with_span "flow.baseline" @@ fun () ->
   let expr_folded = ref 0 in
   let muxtree_changes = ref 0 in
@@ -22,9 +22,13 @@ let baseline (c : Netlist.Circuit.t) : report =
     if iter >= 16 then iter
     else begin
       let e = Opt_expr.run c in
+      after_pass "opt_expr" c;
       let g = Opt_merge.run c in
+      after_pass "opt_merge" c;
       let m = Opt_muxtree.run c in
+      after_pass "opt_muxtree" c;
       let r = Opt_clean.run c in
+      after_pass "opt_clean" c;
       expr_folded := !expr_folded + e + g;
       muxtree_changes := !muxtree_changes + m;
       cells_removed := !cells_removed + r;

@@ -10,4 +10,10 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
-val baseline : Netlist.Circuit.t -> report
+val baseline :
+  ?after_pass:(string -> Netlist.Circuit.t -> unit) ->
+  Netlist.Circuit.t ->
+  report
+(** [after_pass] is invoked after each sub-pass with its name
+    (["opt_expr"], ["opt_merge"], ["opt_muxtree"], ["opt_clean"]) and the
+    circuit as that pass left it; the invariant checker hooks in here. *)

@@ -36,6 +36,64 @@ let test_lex_errors () =
     | _ -> false
     | exception Hdl.Lexer.Lex_error _ -> true)
 
+let test_lex_token_positions () =
+  (* tokens carry 1-based line/column of their first character *)
+  match Hdl.Lexer.tokenize "a\n  wire b" with
+  | (_, p1) :: (_, p2) :: (_, p3) :: _ ->
+    check_int "a line" 1 p1.Hdl.Loc.line;
+    check_int "a col" 1 p1.Hdl.Loc.col;
+    check_int "wire line" 2 p2.Hdl.Loc.line;
+    check_int "wire col" 3 p2.Hdl.Loc.col;
+    check_int "b col" 8 p3.Hdl.Loc.col
+  | _ -> Alcotest.fail "expected three tokens"
+
+let test_lex_error_position () =
+  match Hdl.Lexer.tokenize "module m;\n  %" with
+  | _ -> Alcotest.fail "expected a lex error"
+  | exception Hdl.Lexer.Lex_error (_, pos) ->
+    check_int "line" 2 pos.Hdl.Loc.line;
+    check_int "col" 3 pos.Hdl.Loc.col
+
+let test_parse_error_position () =
+  match
+    Hdl.Parser.parse_string "module m(input a, output y);\n  assign y = ;\nendmodule"
+  with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception Hdl.Parser.Parse_error (_, pos) ->
+    check_int "line" 2 pos.Hdl.Loc.line
+
+let test_elab_error_span () =
+  match
+    Hdl.Elaborate.elaborate_string
+      "module m(input a, output y);\n  assign y = nope;\nendmodule"
+  with
+  | _ -> Alcotest.fail "expected an elaboration error"
+  | exception Hdl.Elaborate.Elab_error (_, sp) -> (
+    match sp with
+    | Some sp -> check_int "line" 2 sp.Hdl.Loc.s.Hdl.Loc.line
+    | None -> Alcotest.fail "expected a source span")
+
+let test_ast_spans () =
+  let m =
+    Hdl.Parser.parse_string
+      "module m(input [1:0] s, output reg y);\n  always @* begin\n    case (s)\n      2'b00: y = 1'b0;\n      default: y = 1'b1;\n    endcase\n  end\nendmodule"
+  in
+  let case_item_line =
+    List.find_map
+      (function
+        | Hdl.Ast.I_always { body; _ } ->
+          List.find_map
+            (fun (s : Hdl.Ast.stmt) ->
+              match s.Hdl.Ast.sdesc with
+              | Hdl.Ast.S_case { Hdl.Ast.items = it :: _; _ } ->
+                Some it.Hdl.Ast.iloc.Hdl.Loc.s.Hdl.Loc.line
+              | _ -> None)
+            body
+        | _ -> None)
+      m.Hdl.Ast.items
+  in
+  check_bool "first case item on line 4" true (case_item_line = Some 4)
+
 (* --- parser --- *)
 
 let test_parse_module_structure () =
@@ -64,11 +122,15 @@ let test_parse_precedence () =
     List.exists
       (function
         | Hdl.Ast.I_assign
-            ( "y",
-              Hdl.Ast.E_binary
-                ( Hdl.Ast.B_or,
-                  Hdl.Ast.E_ident "a",
-                  Hdl.Ast.E_binary (Hdl.Ast.B_and, _, _) ) ) -> true
+            {
+              lhs = "y";
+              rhs =
+                Hdl.Ast.E_binary
+                  ( Hdl.Ast.B_or,
+                    Hdl.Ast.E_ident "a",
+                    Hdl.Ast.E_binary (Hdl.Ast.B_and, _, _) );
+              _;
+            } -> true
         | _ -> false)
       m.Hdl.Ast.items
   in
@@ -344,6 +406,8 @@ let () =
         [
           Alcotest.test_case "sized literals" `Quick test_lex_sized_literals;
           Alcotest.test_case "errors" `Quick test_lex_errors;
+          Alcotest.test_case "token positions" `Quick test_lex_token_positions;
+          Alcotest.test_case "error position" `Quick test_lex_error_position;
         ] );
       ( "parser",
         [
@@ -351,6 +415,9 @@ let () =
           Alcotest.test_case "precedence" `Quick test_parse_precedence;
           Alcotest.test_case "ternary" `Quick test_parse_ternary_nests;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error position" `Quick test_parse_error_position;
+          Alcotest.test_case "ast spans" `Quick test_ast_spans;
+          Alcotest.test_case "elab error span" `Quick test_elab_error_span;
         ] );
       ( "elaborate",
         [

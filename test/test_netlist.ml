@@ -121,15 +121,23 @@ let test_cycle_detection () =
   let w1 = Circuit.add_wire c ~width:1 () in
   let w2 = Circuit.add_wire c ~width:1 () in
   let b1 = Circuit.bit_of_wire w1 and b2 = Circuit.bit_of_wire w2 in
-  ignore
-    (Circuit.add_cell c
-       (Cell.Unary { op = Cell.Not; a = [| b1 |]; y = [| b2 |] }));
-  ignore
-    (Circuit.add_cell c
-       (Cell.Unary { op = Cell.Not; a = [| b2 |]; y = [| b1 |] }));
+  let id1 =
+    Circuit.add_cell c (Cell.Unary { op = Cell.Not; a = [| b1 |]; y = [| b2 |] })
+  in
+  let id2 =
+    Circuit.add_cell c (Cell.Unary { op = Cell.Not; a = [| b2 |]; y = [| b1 |] })
+  in
   check_bool "cyclic" false (Topo.is_acyclic c);
-  check_bool "validate flags it" true
-    (List.exists (fun i -> i = Validate.Cyclic) (Validate.check c))
+  let cycles =
+    List.filter_map
+      (function Validate.Cyclic cells -> Some cells | _ -> None)
+      (Validate.check c)
+  in
+  check_int "validate flags one cycle" 1 (List.length cycles);
+  (* the witness is the concrete shortest cycle: both inverters *)
+  check_int "witness length" 2 (List.length (List.hd cycles));
+  check_bool "witness cells" true
+    (List.sort compare (List.hd cycles) = List.sort compare [ id1; id2 ])
 
 let test_dff_breaks_cycle () =
   let c = Circuit.create "seq" in
@@ -169,6 +177,59 @@ let test_validate_dangling () =
     (List.exists
        (function Validate.Dangling_wire_bit _ -> true | _ -> false)
        (Validate.check c))
+
+let test_validate_width_violation () =
+  let c = Circuit.create "wv" in
+  let a = Circuit.add_input c "a" ~width:1 in
+  let y = Circuit.add_wire c ~width:2 () in
+  let ys = Circuit.sig_of_wire y in
+  (* bypass add_cell's width check to seed an ill-widthed cell, the way a
+     buggy pass would corrupt the table in place *)
+  let id = c.Circuit.next_cell_id in
+  c.Circuit.next_cell_id <- id + 1;
+  Hashtbl.replace c.Circuit.cells id
+    (Cell.Unary { op = Cell.Not; a = [| Circuit.bit_of_wire a |]; y = ys });
+  check_bool "flagged" true
+    (List.exists
+       (function Validate.Width_violation (cid, _) -> cid = id | _ -> false)
+       (Validate.check c))
+
+let test_validate_unknown_wire () =
+  let c = Circuit.create "uw" in
+  let a = Circuit.add_input c "a" ~width:1 in
+  let y = Circuit.add_wire c ~width:1 () in
+  ignore
+    (Circuit.add_cell c
+       (Cell.Unary
+          { op = Cell.Not; a = [| Circuit.bit_of_wire a |];
+            y = [| Circuit.bit_of_wire y |] }));
+  Circuit.remove_wire c y.Circuit.wire_id;
+  check_bool "flagged" true
+    (List.exists
+       (function Validate.Unknown_wire wid -> wid = y.Circuit.wire_id | _ -> false)
+       (Validate.check c))
+
+let test_cycle_witness_is_shortest () =
+  (* a 3-ring w0 -> w1 -> w2 -> w0 plus a shortcut w1 -> w0: the shortest
+     cycle is the 2-cell loop through the shortcut, and that is what the
+     witness must report regardless of which loop the DFS tripped over *)
+  let c = Circuit.create "loops" in
+  let w = Array.init 3 (fun _ -> Circuit.add_wire c ~width:1 ()) in
+  let b i = Circuit.bit_of_wire w.(i) in
+  let inv a y = Cell.Unary { op = Cell.Not; a = [| a |]; y = [| y |] } in
+  let a0 = Circuit.add_cell c (inv (b 0) (b 1)) in
+  ignore (Circuit.add_cell c (inv (b 1) (b 2)));
+  ignore (Circuit.add_cell c (inv (b 2) (b 0)));
+  let shortcut = Circuit.add_cell c (inv (b 1) (b 0)) in
+  let cycles =
+    List.filter_map
+      (function Validate.Cyclic cells -> Some cells | _ -> None)
+      (Validate.check c)
+  in
+  check_int "one cycle reported" 1 (List.length cycles);
+  check_int "witness is the short loop" 2 (List.length (List.hd cycles));
+  check_bool "witness cells" true
+    (List.sort compare (List.hd cycles) = List.sort compare [ a0; shortcut ])
 
 (* --- Rewire --- *)
 
@@ -222,6 +283,10 @@ let () =
           Alcotest.test_case "dff breaks cycle" `Quick test_dff_breaks_cycle;
           Alcotest.test_case "multiple drivers" `Quick test_validate_multiple_drivers;
           Alcotest.test_case "dangling bit" `Quick test_validate_dangling;
+          Alcotest.test_case "width violation" `Quick test_validate_width_violation;
+          Alcotest.test_case "unknown wire" `Quick test_validate_unknown_wire;
+          Alcotest.test_case "cycle witness shortest" `Quick
+            test_cycle_witness_is_shortest;
           Alcotest.test_case "rewire" `Quick test_rewire;
           Alcotest.test_case "stats" `Quick test_stats;
         ] );
