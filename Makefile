@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci clean
+.PHONY: all build test bench bench-check bench-baselines ci clean
 
 all: build
 
@@ -10,6 +10,36 @@ test: build
 
 bench: build
 	dune exec bench/main.exe
+
+# Regression gate over the committed baselines in bench/baselines/.
+# Re-measures the fast sections and compares metric by metric:
+# deterministic metrics (areas, cells removed, SAT conflict counts)
+# must match exactly; wall-time and GC metrics get a noise band,
+# widened by --threshold-scale because this also runs on shared CI
+# machines.  The diff table lands in /tmp/smartly_bench_diff.txt for
+# artifact upload.  The second half is a self-test of the gate itself:
+# --pessimize turns the smartly flows into no-ops, so the re-measured
+# areas genuinely regress and the gate MUST fail — if it passes, the
+# gate is broken and the target errors out.
+bench-check: build
+	dune exec bench/main.exe -- table2 mux_chain --check \
+	  --threshold-scale 4 --report /tmp/smartly_bench_diff.txt
+	@if dune exec bench/main.exe -- mux_chain --check --pessimize \
+	    --report /tmp/smartly_bench_pessimized.txt >/dev/null 2>&1; then \
+	  echo "bench-check: BROKEN GATE — pessimized run passed"; exit 1; \
+	else \
+	  echo "bench-check: gate self-test ok (pessimized run failed as it must)"; \
+	fi
+
+# Refresh every committed baseline.  The heavy sections run once (their
+# deterministic metrics don't need repetitions and table2 alone takes
+# minutes); the fast mux_chain section runs three times so its timing
+# medians are meaningful.  Commit the resulting bench/baselines/*.json
+# together with the change that moved the numbers.
+bench-baselines: build
+	dune exec bench/main.exe -- table2 table3 industrial \
+	  --update-baselines --reps 1
+	dune exec bench/main.exe -- mux_chain --update-baselines --reps 3
 
 # What CI runs: build, the full test suite, then an end-to-end smoke of
 # the observability surface — optimize the fast mux_chain profile with

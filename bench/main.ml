@@ -1,35 +1,80 @@
-(* Benchmark harness: regenerates every table and figure of the paper.
+(* Benchmark harness: regenerates every table and figure of the paper,
+   and doubles as the continuous-benchmarking pipeline.
 
      table2     — Table II: AIG areas Original / Yosys / smaRTLy + ratio
      table3     — Table III: SAT-only / Rebuild-only / Full reductions
      industrial — Section IV-B: the mux-rich industrial benchmark
+     mux_chain  — the seconds-fast smoke profile (CI regression gate)
      figures    — Figs. 1/2/3/5/6/7 and the Listing-2 assignment claim
      ablation   — design-choice sweeps (distance k, pruning, rules, ...)
      timing     — Bechamel micro-benchmarks of the passes
 
    Run with no arguments to regenerate everything the paper reports
    (table2 table3 industrial figures); pass section names to select.
-   With --json, each table section additionally writes a machine-readable
-   BENCH_<section>.json (areas, reductions, per-phase wall times). *)
+
+   The statistical sections (table2 table3 industrial mux_chain) measure
+   every case with --reps repetitions on the monotonic clock and produce a
+   versioned smartly-bench-v1 document per section (see Perf.Schema):
+
+     --json                write BENCH_<section>.json (into --out DIR, cwd
+                           by default; committed baselines are never
+                           touched by a plain run)
+     --update-baselines    rewrite the committed baseline store
+                           (--baseline-dir, default bench/baselines/)
+     --compare             diff this run against the committed baselines
+     --check               like --compare but exit nonzero on any
+                           regression beyond threshold (the CI gate)
+     --reps N              repetitions per flow (default 1)
+     --threshold-scale X   multiply the Time/Gc noise bands (CI uses a
+                           loose scale to absorb cross-machine variance;
+                           deterministic metrics always compare exactly)
+     --report FILE         also write the diff tables + verdict to FILE
+     --pessimize           run the smaRTLy variants as no-ops: a
+                           deliberate pessimization that self-tests the
+                           regression gate end to end *)
 
 open Netlist
 
-let emit_json = ref false
+(* --- options --- *)
 
-let write_json section (j : Obs.Json.t) =
+let emit_json = ref false
+let out_dir = ref None
+let reps = ref 1
+let compare_flag = ref false
+let check_flag = ref false
+let update_baselines = ref false
+let baseline_dir = ref Perf.Store.default_dir
+let threshold_scale = ref 1.0
+let report_path = ref None
+let pessimize = ref false
+
+(* statistical sections stash their fresh document here; main () compares
+   / gates over all of them at once *)
+let fresh_docs : Perf.Schema.doc list ref = ref []
+
+let emit_doc section (cases : Perf.Schema.case list) =
+  let doc =
+    {
+      Perf.Schema.section;
+      env = Perf.Schema.fingerprint ~reps:!reps;
+      cases;
+    }
+  in
+  if !compare_flag || !check_flag then fresh_docs := !fresh_docs @ [ doc ];
   if !emit_json then begin
-    let path = Printf.sprintf "BENCH_%s.json" section in
-    let oc = open_out path in
-    output_string oc (Obs.Json.to_string ~pretty:true j);
-    output_char oc '\n';
-    close_out oc;
+    let dir = Option.value !out_dir ~default:Filename.current_dir_name in
+    let path = Perf.Store.save ~dir doc in
     Printf.printf "wrote %s\n" path
+  end;
+  if !update_baselines then begin
+    let path = Perf.Store.save ~dir:!baseline_dir doc in
+    Printf.printf "baseline: wrote %s\n" path
   end
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let r = f () in
-  r, Unix.gettimeofday () -. t0
+  r, Obs.Clock.elapsed t0
 
 let check_equivalence ?(full_cec_limit = 9500) (orig : Circuit.t)
     (opt : Circuit.t) : string =
@@ -49,62 +94,85 @@ let optimized flow (c0 : Circuit.t) =
   let c = Circuit.copy c0 in
   (match flow with
   | `Yosys -> ignore (Smartly.Driver.yosys c)
+  | `Smartly _ when !pessimize ->
+    (* gate self-test: leave the circuit untouched, so every smaRTLy
+       area/cells_removed metric regresses against a real baseline *)
+    ()
   | `Smartly cfg -> ignore (Smartly.Driver.smartly ~cfg c));
   c
+
+(* --- the one statistical case runner every table section shares --- *)
+
+type flow_meas = {
+  area : int;
+  time : Perf.Stat.summary;  (** wall seconds over --reps repetitions *)
+  gc : Obs.Metrics.gc_delta;  (** of the last repetition *)
+}
 
 type case_result = {
   name : string;
   orig : int;
-  yosys : int;
-  sat : int;
-  rebuild : int;
-  full : int;
+  yosys : flow_meas;
+  sat : flow_meas option;  (** [None] for `Pair variant runs *)
+  rebuild : flow_meas option;
+  full : flow_meas;
   equiv : string;
-  (* per-phase wall-clock seconds (flow only, AIG mapping excluded) *)
-  t_yosys : float;
-  t_sat : float;
-  t_rebuild : float;
-  t_full : float;
+  (* deterministic counters of the last full-flow repetition *)
+  cells_removed : int;
+  sat_queries : int;
+  sat_conflicts : int;
+  sat_decisions : int;
+  sat_propagations : int;
   (* SAT conflicts-per-query percentiles of the full-flow run *)
   conf_p50 : float;
   conf_p90 : float;
   conf_max : float;
 }
 
-let reduction ~yosys v =
-  if yosys = 0 then 0.0
-  else 100.0 *. (1.0 -. (float_of_int v /. float_of_int yosys))
-
-let run_case (p : Workloads.Profiles.profile) : case_result =
-  (* every case starts from zeroed instruments: without this, per-case
-     metrics (and the JSON derived from them) would accumulate across the
-     whole table run *)
+(* every repetition starts from zeroed instruments, so the counters (and
+   the JSON derived from them) read after the last repetition describe
+   exactly one run of one flow — no accumulation across repetitions,
+   flow variants, or table cases *)
+let reset_instruments () =
   Obs.Metrics.reset ();
-  Smartly.Engine.Sat_log.reset ();
+  Smartly.Engine.Sat_log.reset ()
+
+let measure_flow flow (c0 : Circuit.t) : flow_meas * Circuit.t =
+  let c, t =
+    Perf.Measure.repeat ~reps:!reps ~prepare:reset_instruments (fun () ->
+        optimized flow c0)
+  in
+  ( { area = Aiger.Aigmap.aig_area c; time = t.Perf.Measure.wall;
+      gc = t.Perf.Measure.gc },
+    c )
+
+let run_case ?(variants = `All) (p : Workloads.Profiles.profile) : case_result
+    =
   let c0 = Workloads.Profiles.circuit p in
   let orig = Aiger.Aigmap.aig_area c0 in
-  let cy, t_yosys = timed (fun () -> optimized `Yosys c0) in
-  let yosys = Aiger.Aigmap.aig_area cy in
-  let cs, t_sat =
-    timed (fun () -> optimized (`Smartly Smartly.Config.sat_only) c0)
+  let yosys, _ = measure_flow `Yosys c0 in
+  let sat, rebuild =
+    match variants with
+    | `Pair -> None, None
+    | `All ->
+      let s, _ = measure_flow (`Smartly Smartly.Config.sat_only) c0 in
+      let r, _ = measure_flow (`Smartly Smartly.Config.rebuild_only) c0 in
+      Some s, Some r
   in
-  let sat = Aiger.Aigmap.aig_area cs in
-  let cr, t_rebuild =
-    timed (fun () -> optimized (`Smartly Smartly.Config.rebuild_only) c0)
-  in
-  let rebuild = Aiger.Aigmap.aig_area cr in
-  (* re-zero so the recorded query percentiles describe the full flow of
-     this case only, not the sat/rebuild variants above *)
-  Obs.Metrics.reset ();
-  Smartly.Engine.Sat_log.reset ();
-  let cf, t_full =
-    timed (fun () -> optimized (`Smartly Smartly.Config.default) c0)
-  in
+  (* the full flow runs last: the instruments now describe it alone *)
+  let full, cf = measure_flow (`Smartly Smartly.Config.default) c0 in
+  let counter n = Obs.Metrics.value (Obs.Metrics.counter n) in
+  let cells_removed = counter "flow.cells_removed" in
+  let sat_queries = counter "engine.sat_queries" in
+  let sat_conflicts = counter "engine.sat_conflicts" in
+  let sat_decisions = counter "engine.sat_decisions" in
+  let sat_propagations = counter "engine.sat_propagations" in
   let conf =
     Obs.Metrics.histogram_stats
       (Obs.Metrics.histogram "engine.conflicts_per_query")
   in
-  let full = Aiger.Aigmap.aig_area cf in
+  (* equivalence checking may itself run SAT: only after the counters
+     above are captured *)
   let equiv = check_equivalence c0 cf in
   {
     name = p.Workloads.Profiles.name;
@@ -114,43 +182,87 @@ let run_case (p : Workloads.Profiles.profile) : case_result =
     rebuild;
     full;
     equiv;
-    t_yosys;
-    t_sat;
-    t_rebuild;
-    t_full;
+    cells_removed;
+    sat_queries;
+    sat_conflicts;
+    sat_decisions;
+    sat_propagations;
     conf_p50 = conf.Obs.Metrics.p50;
     conf_p90 = conf.Obs.Metrics.p90;
     conf_max = conf.Obs.Metrics.max_v;
   }
 
-let case_json (r : case_result) : Obs.Json.t =
-  let open Obs.Json in
-  Obj
+let reduction ~yosys v =
+  if yosys = 0 then 0.0
+  else 100.0 *. (1.0 -. (float_of_int v /. float_of_int yosys))
+
+(* --- schema documents, one metric list per section --- *)
+
+let f = float_of_int
+
+let flow_metrics prefix (m : flow_meas) =
+  [
+    Perf.Schema.scalar ~name:(prefix ^ "_area") ~kind:Perf.Schema.Area
+      (f m.area);
+    Perf.Schema.timing ~name:("t_" ^ prefix) m.time;
+  ]
+
+let gc_metrics (m : flow_meas) =
+  let g = m.gc in
+  Perf.Schema.
     [
-      "name", Str r.name;
-      "orig_area", num_of_int r.orig;
-      "yosys_area", num_of_int r.yosys;
-      "sat_area", num_of_int r.sat;
-      "rebuild_area", num_of_int r.rebuild;
-      "smartly_area", num_of_int r.full;
-      "reduction_pct", Num (reduction ~yosys:r.yosys r.full);
-      "equivalence", Str r.equiv;
-      ( "seconds",
-        Obj
-          [
-            "yosys", Num r.t_yosys;
-            "sat", Num r.t_sat;
-            "rebuild", Num r.t_rebuild;
-            "smartly", Num r.t_full;
-          ] );
-      ( "sat_conflicts_per_query",
-        Obj
-          [
-            "p50", Num r.conf_p50;
-            "p90", Num r.conf_p90;
-            "max", Num r.conf_max;
-          ] );
+      scalar ~name:"gc_minor_collections" ~kind:Gc
+        (f g.Obs.Metrics.minor_collections);
+      scalar ~name:"gc_major_collections" ~kind:Gc
+        (f g.Obs.Metrics.major_collections);
+      scalar ~name:"gc_allocated_words" ~kind:Gc g.Obs.Metrics.allocated_words;
+      (* top_heap_words is deliberately NOT committed: it is a
+         process-lifetime high-water mark, so its value depends on which
+         sections ran earlier in the same process, not on this case *)
     ]
+
+let sat_counter_metrics (r : case_result) =
+  Perf.Schema.
+    [
+      scalar ~name:"sat_queries" ~kind:Count (f r.sat_queries);
+      scalar ~name:"sat_conflicts" ~kind:Count (f r.sat_conflicts);
+      scalar ~name:"sat_decisions" ~kind:Count (f r.sat_decisions);
+      scalar ~name:"sat_propagations" ~kind:Count (f r.sat_propagations);
+    ]
+
+let core_metrics (r : case_result) =
+  (Perf.Schema.scalar ~name:"orig_area" ~kind:Perf.Schema.Area (f r.orig)
+  :: flow_metrics "yosys" r.yosys)
+  @ flow_metrics "smartly" r.full
+  @ [
+      Perf.Schema.scalar ~direction:Perf.Schema.Higher_better
+        ~name:"cells_removed" ~kind:Perf.Schema.Count (f r.cells_removed);
+    ]
+
+(* table2 carries the headline (areas, full-flow time, GC); table3 carries
+   what only it displays (the per-method variants and SAT totals), so one
+   regression is named by exactly one section *)
+let table2_case (r : case_result) : Perf.Schema.case =
+  { Perf.Schema.name = r.name; metrics = core_metrics r @ gc_metrics r.full }
+
+let table3_case (r : case_result) : Perf.Schema.case =
+  {
+    Perf.Schema.name = r.name;
+    metrics =
+      (match r.sat with Some m -> flow_metrics "sat" m | None -> [])
+      @ (match r.rebuild with Some m -> flow_metrics "rebuild" m | None -> [])
+      @ sat_counter_metrics r;
+  }
+
+let full_case (r : case_result) : Perf.Schema.case =
+  {
+    Perf.Schema.name = r.name;
+    metrics =
+      core_metrics r
+      @ (match r.sat with Some m -> flow_metrics "sat" m | None -> [])
+      @ (match r.rebuild with Some m -> flow_metrics "rebuild" m | None -> [])
+      @ sat_counter_metrics r @ gc_metrics r.full;
+  }
 
 let public_results =
   lazy (List.map run_case Workloads.Profiles.public_benchmarks)
@@ -171,28 +283,29 @@ let table2 () =
         [
           r.name;
           string_of_int r.orig;
-          string_of_int r.yosys;
-          string_of_int r.full;
-          Report.Table.pct (reduction ~yosys:r.yosys r.full);
-          Report.Table.secs r.t_yosys;
-          Report.Table.secs r.t_full;
+          string_of_int r.yosys.area;
+          string_of_int r.full.area;
+          Report.Table.pct (reduction ~yosys:r.yosys.area r.full.area);
+          Report.Table.secs r.yosys.time.Perf.Stat.median;
+          Report.Table.secs r.full.time.Perf.Stat.median;
           r.equiv;
         ])
       results
   in
-  let avg f =
-    List.fold_left (fun acc r -> acc +. f r) 0.0 results
+  let avg fn =
+    List.fold_left (fun acc r -> acc +. fn r) 0.0 results
     /. float_of_int (List.length results)
   in
   let avg_row =
     [
       "Average";
-      Printf.sprintf "%.1f" (avg (fun r -> float_of_int r.orig));
-      Printf.sprintf "%.1f" (avg (fun r -> float_of_int r.yosys));
-      Printf.sprintf "%.1f" (avg (fun r -> float_of_int r.full));
-      Report.Table.pct (avg (fun r -> reduction ~yosys:r.yosys r.full));
-      Report.Table.secs (avg (fun r -> r.t_yosys));
-      Report.Table.secs (avg (fun r -> r.t_full));
+      Printf.sprintf "%.1f" (avg (fun r -> f r.orig));
+      Printf.sprintf "%.1f" (avg (fun r -> f r.yosys.area));
+      Printf.sprintf "%.1f" (avg (fun r -> f r.full.area));
+      Report.Table.pct
+        (avg (fun r -> reduction ~yosys:r.yosys.area r.full.area));
+      Report.Table.secs (avg (fun r -> r.yosys.time.Perf.Stat.median));
+      Report.Table.secs (avg (fun r -> r.full.time.Perf.Stat.median));
       "";
     ]
   in
@@ -202,13 +315,7 @@ let table2 () =
         right "Ratio"; right "t(Yosys)"; right "t(smaRTLy)";
         left "Equivalence" ]
     ~rows:(rows @ [ avg_row ]);
-  write_json "table2"
-    (Obs.Json.Obj
-       [
-         "schema", Obs.Json.Str "smartly-bench-v1";
-         "section", Obs.Json.Str "table2";
-         "cases", Obs.Json.List (List.map case_json results);
-       ]);
+  emit_doc "table2" (List.map table2_case results);
   print_endline
     "(paper: avg extra reduction 8.95%; largest on case-heavy and\n\
      correlated-control designs, near zero on flat datapaths)"
@@ -220,36 +327,44 @@ let table3 () =
   print_endline
     "Table III: reduction vs Yosys by individual method and combined";
   let results = Lazy.force public_results in
+  let area_of = function Some (m : flow_meas) -> m.area | None -> 0 in
+  let time_of = function
+    | Some (m : flow_meas) -> m.time.Perf.Stat.median
+    | None -> 0.0
+  in
   let rows =
     List.map
       (fun r ->
         [
           r.name;
-          Report.Table.pct (reduction ~yosys:r.yosys r.sat);
-          Report.Table.pct (reduction ~yosys:r.yosys r.rebuild);
-          Report.Table.pct (reduction ~yosys:r.yosys r.full);
-          Report.Table.secs r.t_sat;
-          Report.Table.secs r.t_rebuild;
-          Report.Table.secs r.t_full;
+          Report.Table.pct (reduction ~yosys:r.yosys.area (area_of r.sat));
+          Report.Table.pct (reduction ~yosys:r.yosys.area (area_of r.rebuild));
+          Report.Table.pct (reduction ~yosys:r.yosys.area r.full.area);
+          Report.Table.secs (time_of r.sat);
+          Report.Table.secs (time_of r.rebuild);
+          Report.Table.secs r.full.time.Perf.Stat.median;
           Printf.sprintf "%.0f" r.conf_p50;
           Printf.sprintf "%.0f" r.conf_p90;
           Printf.sprintf "%.0f" r.conf_max;
         ])
       results
   in
-  let avg f =
-    List.fold_left (fun acc r -> acc +. f r) 0.0 results
+  let avg fn =
+    List.fold_left (fun acc r -> acc +. fn r) 0.0 results
     /. float_of_int (List.length results)
   in
   let avg_row =
     [
       "Average";
-      Report.Table.pct (avg (fun r -> reduction ~yosys:r.yosys r.sat));
-      Report.Table.pct (avg (fun r -> reduction ~yosys:r.yosys r.rebuild));
-      Report.Table.pct (avg (fun r -> reduction ~yosys:r.yosys r.full));
-      Report.Table.secs (avg (fun r -> r.t_sat));
-      Report.Table.secs (avg (fun r -> r.t_rebuild));
-      Report.Table.secs (avg (fun r -> r.t_full));
+      Report.Table.pct
+        (avg (fun r -> reduction ~yosys:r.yosys.area (area_of r.sat)));
+      Report.Table.pct
+        (avg (fun r -> reduction ~yosys:r.yosys.area (area_of r.rebuild)));
+      Report.Table.pct
+        (avg (fun r -> reduction ~yosys:r.yosys.area r.full.area));
+      Report.Table.secs (avg (fun r -> time_of r.sat));
+      Report.Table.secs (avg (fun r -> time_of r.rebuild));
+      Report.Table.secs (avg (fun r -> r.full.time.Perf.Stat.median));
       "";
       "";
       "";
@@ -261,16 +376,35 @@ let table3 () =
         right "t(SAT)"; right "t(Rebuild)"; right "t(Full)";
         right "cfl(p50)"; right "cfl(p90)"; right "cfl(max)" ]
     ~rows:(rows @ [ avg_row ]);
-  write_json "table3"
-    (Obs.Json.Obj
-       [
-         "schema", Obs.Json.Str "smartly-bench-v1";
-         "section", Obs.Json.Str "table3";
-         "cases", Obs.Json.List (List.map case_json results);
-       ]);
+  emit_doc "table3" (List.map table3_case results);
   print_endline
     "(paper: SAT 3.57% / Rebuild 4.39% / Full 8.95% on average; which\n\
      method dominates varies per case, Full >= max(SAT, Rebuild))"
+
+(* --- shared Yosys-vs-smaRTLy table for the remaining sections --- *)
+
+let pair_table results =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.name;
+          string_of_int r.orig;
+          string_of_int r.yosys.area;
+          string_of_int r.full.area;
+          Report.Table.pct (reduction ~yosys:r.yosys.area r.full.area);
+          Report.Table.secs r.yosys.time.Perf.Stat.median;
+          Report.Table.secs r.full.time.Perf.Stat.median;
+          r.equiv;
+        ])
+      results
+  in
+  Report.Table.print
+    ~columns:
+      [ left "Point"; right "Original"; right "Yosys"; right "smaRTLy";
+        right "Extra reduction"; right "t(Yosys)"; right "t(smaRTLy)";
+        left "Equivalence" ]
+    ~rows
 
 (* --- Industrial (Section IV-B) --- *)
 
@@ -283,71 +417,16 @@ let industrial () =
        minutes on one core; `bench industrial-all` runs all eight *)
     List.filteri (fun i _ -> i < 4) Workloads.Profiles.industrial_benchmarks
   in
-  let results =
-    List.map
-      (fun p ->
-        Obs.Metrics.reset ();
-        Smartly.Engine.Sat_log.reset ();
-        let c0 = Workloads.Profiles.circuit p in
-        let orig = Aiger.Aigmap.aig_area c0 in
-        let cy, t_yosys = timed (fun () -> optimized `Yosys c0) in
-        let yosys = Aiger.Aigmap.aig_area cy in
-        let cf, t_full =
-          timed (fun () -> optimized (`Smartly Smartly.Config.default) c0)
-        in
-        let full = Aiger.Aigmap.aig_area cf in
-        let equiv = check_equivalence c0 cf in
-        p.Workloads.Profiles.name, orig, yosys, full, equiv, t_yosys, t_full)
-      points
-  in
-  let rows =
-    List.map
-      (fun (name, orig, yosys, full, equiv, t_yosys, t_full) ->
-        [
-          name;
-          string_of_int orig;
-          string_of_int yosys;
-          string_of_int full;
-          Report.Table.pct (reduction ~yosys full);
-          Report.Table.secs t_yosys;
-          Report.Table.secs t_full;
-          equiv;
-        ])
-      results
-  in
-  Report.Table.print
-    ~columns:
-      [ left "Point"; right "Original"; right "Yosys"; right "smaRTLy";
-        right "Extra reduction"; right "t(Yosys)"; right "t(smaRTLy)";
-        left "Equivalence" ]
-    ~rows;
-  write_json "industrial"
-    (Obs.Json.Obj
-       [
-         "schema", Obs.Json.Str "smartly-bench-v1";
-         "section", Obs.Json.Str "industrial";
-         ( "cases",
-           Obs.Json.List
-             (List.map
-                (fun (name, orig, yosys, full, equiv, t_yosys, t_full) ->
-                  let open Obs.Json in
-                  Obj
-                    [
-                      "name", Str name;
-                      "orig_area", num_of_int orig;
-                      "yosys_area", num_of_int yosys;
-                      "smartly_area", num_of_int full;
-                      "reduction_pct", Num (reduction ~yosys full);
-                      "equivalence", Str equiv;
-                      ( "seconds",
-                        Obj
-                          [ "yosys", Num t_yosys; "smartly", Num t_full ] );
-                    ])
-                results) );
-       ]);
+  let results = List.map (run_case ~variants:`Pair) points in
+  pair_table results;
+  emit_doc "industrial"
+    (List.map
+       (fun r ->
+         { Perf.Schema.name = r.name; metrics = core_metrics r })
+       results);
   let avg =
     List.fold_left
-      (fun acc (_, _, yosys, full, _, _, _) -> acc +. reduction ~yosys full)
+      (fun acc r -> acc +. reduction ~yosys:r.yosys.area r.full.area)
       0.0 results
     /. float_of_int (List.length results)
   in
@@ -356,6 +435,15 @@ let industrial () =
      (paper: 47.2%%; far above the public benchmarks because Yosys finds\n\
      almost nothing in selection-circuit-dominated designs)\n"
     avg
+
+(* --- mux_chain: the seconds-fast smoke section the CI gate runs --- *)
+
+let mux_chain () =
+  print_endline "";
+  print_endline "Smoke profile mux_chain (fast; the CI regression gate)";
+  let results = [ run_case Workloads.Profiles.mux_chain ] in
+  pair_table results;
+  emit_doc "mux_chain" (List.map full_case results)
 
 (* --- Figures --- *)
 
@@ -561,9 +649,7 @@ let ablation () =
   let c0 = Workloads.Profiles.circuit p in
   let yosys = Aiger.Aigmap.aig_area (optimized `Yosys c0) in
   let measure cfg =
-    let t0 = Unix.gettimeofday () in
-    let c = optimized (`Smartly cfg) c0 in
-    let dt = Unix.gettimeofday () -. t0 in
+    let c, dt = timed (fun () -> optimized (`Smartly cfg) c0) in
     Aiger.Aigmap.aig_area c, dt
   in
   let base = Smartly.Config.default in
@@ -619,8 +705,8 @@ let timing () =
   print_endline "Pass timings (Bechamel, monotonic clock)";
   let c0 = Workloads.Profiles.circuit Workloads.Profiles.usb_funct in
   let open Bechamel in
-  let make_pass name f =
-    Test.make ~name (Staged.stage (fun () -> f (Circuit.copy c0)))
+  let make_pass name fn =
+    Test.make ~name (Staged.stage (fun () -> fn (Circuit.copy c0)))
   in
   let tests =
     [
@@ -653,29 +739,87 @@ let timing () =
 
 (* --- main --- *)
 
+let usage () =
+  prerr_endline
+    "usage: bench [SECTION...] [--json] [--out DIR] [--reps N]\n\
+    \             [--compare | --check] [--update-baselines]\n\
+    \             [--baseline-dir DIR] [--threshold-scale X]\n\
+    \             [--report FILE] [--pessimize]\n\
+     sections: table2 table3 industrial mux_chain figures ablation timing all";
+  exit 2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--json" then begin
-          emit_json := true;
-          false
-        end
-        else true)
-      args
+  let needs_value name = function
+    | v :: rest -> v, rest
+    | [] ->
+      Printf.eprintf "bench: %s needs a value\n" name;
+      usage ()
+  in
+  let rec parse sections = function
+    | [] -> List.rev sections
+    | "--json" :: rest ->
+      emit_json := true;
+      parse sections rest
+    | "--compare" :: rest ->
+      compare_flag := true;
+      parse sections rest
+    | "--check" :: rest ->
+      check_flag := true;
+      parse sections rest
+    | "--update-baselines" :: rest ->
+      update_baselines := true;
+      parse sections rest
+    | "--pessimize" :: rest ->
+      pessimize := true;
+      parse sections rest
+    | "--out" :: rest ->
+      let v, rest = needs_value "--out" rest in
+      out_dir := Some v;
+      parse sections rest
+    | "--baseline-dir" :: rest ->
+      let v, rest = needs_value "--baseline-dir" rest in
+      baseline_dir := v;
+      parse sections rest
+    | "--report" :: rest ->
+      let v, rest = needs_value "--report" rest in
+      report_path := Some v;
+      parse sections rest
+    | "--reps" :: rest ->
+      let v, rest = needs_value "--reps" rest in
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> reps := n
+      | _ ->
+        Printf.eprintf "bench: --reps needs a positive integer, got %s\n" v;
+        usage ());
+      parse sections rest
+    | "--threshold-scale" :: rest ->
+      let v, rest = needs_value "--threshold-scale" rest in
+      (match float_of_string_opt v with
+      | Some x when x > 0.0 -> threshold_scale := x
+      | _ ->
+        Printf.eprintf "bench: --threshold-scale needs a positive number\n";
+        usage ());
+      parse sections rest
+    | opt :: _ when String.length opt >= 2 && String.sub opt 0 2 = "--" ->
+      Printf.eprintf "bench: unknown option %s\n" opt;
+      usage ()
+    | s :: rest -> parse (s :: sections) rest
   in
   let sections =
-    match args with
+    match parse [] args with
     | [] -> [ "table2"; "table3"; "industrial"; "figures" ]
     | rest -> rest
   in
+  if Unix.isatty Unix.stdout && Sys.getenv_opt "NO_COLOR" = None then
+    Report.Table.set_color true;
   List.iter
     (fun s ->
       match s with
       | "table2" -> table2 ()
       | "table3" -> table3 ()
       | "industrial" -> industrial ()
+      | "mux_chain" -> mux_chain ()
       | "figures" -> figures ()
       | "ablation" -> ablation ()
       | "timing" -> timing ()
@@ -683,8 +827,35 @@ let () =
         table2 ();
         table3 ();
         industrial ();
+        mux_chain ();
         figures ();
         ablation ();
         timing ()
       | other -> Printf.printf "unknown section %s\n" other)
-    sections
+    sections;
+  if !compare_flag || !check_flag then begin
+    print_endline "";
+    if !fresh_docs = [] then
+      print_endline
+        "bench-check: no statistical sections selected (nothing to compare)"
+    else begin
+      let outcome =
+        Perf.Gate.check ~scale:!threshold_scale ~dir:!baseline_dir !fresh_docs
+      in
+      print_string (Perf.Gate.render outcome);
+      (match !report_path with
+      | None -> ()
+      | Some path ->
+        (* the artifact must be byte-stable whatever the terminal: render
+           it with color forced off *)
+        let was = Report.Table.colorize Report.Table.Dim "x" <> "x" in
+        Report.Table.set_color false;
+        let text = Perf.Gate.render outcome in
+        Report.Table.set_color was;
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+      if !check_flag && not (Perf.Gate.ok outcome) then exit 1
+    end
+  end

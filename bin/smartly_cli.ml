@@ -425,9 +425,9 @@ let opt_cmd =
     Obs.Metrics.reset ();
     Smartly.Engine.Sat_log.reset ();
     let area0 = Aiger.Aigmap.aig_area c in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     let outcome = run_flow ?after_pass flow c in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Obs.Clock.now () -. t0 in
     let area1 = Aiger.Aigmap.aig_area c in
     Obs.Trace.uninstall ();
     Obs.Provenance.uninstall ();
@@ -658,9 +658,9 @@ let replay_cmd =
             (fun cl ->
               Cdcl.Solver.add_clause s (List.map Cdcl.Lit.of_dimacs cl))
             cnf.Cdcl.Dimacs.clauses;
-          let t0 = Unix.gettimeofday () in
+          let t0 = Obs.Clock.now () in
           let r = Cdcl.Solver.solve s in
-          let dt = Unix.gettimeofday () -. t0 in
+          let dt = Obs.Clock.now () -. t0 in
           let got = Smartly.Engine.Sat_log.solve_name r in
           let conflicts, _, _ = Cdcl.Solver.stats s in
           match recorded_verdict comments with
@@ -860,6 +860,90 @@ let validate_json_cmd =
           on --json / --trace / --provenance outputs.")
     Term.(const run $ files_arg)
 
+let bench_diff_cmd =
+  let baseline_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline smartly-bench-v1 document.")
+  in
+  let current_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Fresh smartly-bench-v1 document.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Exit non-zero if any metric regressed beyond its threshold.")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Show every metric row, not just the ones that changed.")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "threshold-scale" ] ~docv:"X"
+          ~doc:
+            "Multiply the noisy-kind (time, GC) tolerance bands by $(docv); \
+             area and count metrics always compare exactly.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the diff as machine-readable JSON instead of a table.")
+  in
+  let run base_path cur_path check all scale json =
+    let load path =
+      match Perf.Schema.of_string (read_file path) with
+      | Ok doc -> doc
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 2
+    in
+    let baseline = load base_path in
+    let current = load cur_path in
+    if baseline.Perf.Schema.section <> current.Perf.Schema.section then
+      Printf.eprintf "note: comparing section %S against %S\n"
+        baseline.Perf.Schema.section current.Perf.Schema.section;
+    let d = Perf.Compare.diff ~scale ~baseline current in
+    if json then
+      print_endline
+        (Obs.Json.to_string ~pretty:true (Perf.Compare.to_json d))
+    else begin
+      if Unix.isatty Unix.stdout && Sys.getenv_opt "NO_COLOR" = None then
+        Report.Table.set_color true;
+      print_string (Perf.Compare.render ~all d)
+    end;
+    let regs = Perf.Compare.regressions d in
+    if check && (regs <> [] || d.Perf.Compare.missing_cases <> []) then begin
+      List.iter
+        (fun (case, (r : Perf.Compare.metric_diff)) ->
+          Printf.eprintf "regressed: %s/%s\n" case r.Perf.Compare.name)
+        regs;
+      List.iter
+        (fun case -> Printf.eprintf "missing case: %s\n" case)
+        d.Perf.Compare.missing_cases;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two smartly-bench-v1 documents (as written by bench \
+          --json / --update-baselines) metric by metric, using the same \
+          per-kind noise thresholds as bench --check.  With --check, exit \
+          non-zero when any metric regressed or a baseline case vanished.")
+    Term.(
+      const run $ baseline_arg $ current_arg $ check_arg $ all_arg $ scale_arg
+      $ json_arg)
+
 let main_cmd =
   let doc = "smaRTLy: RTL muxtree optimization (DAC'25 reproduction)" in
   Cmd.group
@@ -867,6 +951,7 @@ let main_cmd =
     [
       list_cmd; generate_cmd; stats_cmd; opt_cmd; cec_cmd; dump_cmd;
       write_verilog_cmd; explain_cmd; replay_cmd; validate_json_cmd; lint_cmd;
+      bench_diff_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -285,9 +285,9 @@ let query_sat_how ?stats (circuit : Circuit.t) (view : Subgraph.view)
       (fun b v acc -> Cdcl.Tseitin.assume_lit enc b v :: acc)
       known []
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let r, info = Cdcl.Tseitin.query_forced_info ~budget enc ~assumptions ~target in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Obs.Clock.now () -. t0 in
   (* the encoder's solver is fresh per query, so its lifetime totals are
      exactly this query's cost (both polarity solves) *)
   let conflicts, decisions, propagations =

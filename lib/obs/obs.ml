@@ -6,6 +6,17 @@
    and metric bumps must be single field mutations on pre-resolved
    handles. *)
 
+module Clock = struct
+  (* The C stub prefers CLOCK_MONOTONIC and silently degrades to
+     gettimeofday where it is missing; either way the epoch is arbitrary,
+     so callers must only ever subtract readings. *)
+  external now_ns : unit -> int64 = "smartly_obs_monotonic_ns"
+
+  let now () = Int64.to_float (now_ns ()) *. 1e-9
+
+  let elapsed mark = Int64.to_float (Int64.sub (now_ns ()) mark) *. 1e-9
+end
+
 module Json = struct
   type t =
     | Null
@@ -270,20 +281,37 @@ module Json = struct
   let member key = function
     | Obj fields -> List.assoc_opt key fields
     | Null | Bool _ | Num _ | Str _ | List _ -> None
+
+  (* Schema-decoding accessors: every consumer of a versioned report
+     (Perf baselines, the lint JSON, provenance logs) wants "this field,
+     of this shape, or None" — spelled once here instead of per caller. *)
+
+  let to_num = function Num v -> Some v | _ -> None
+  let to_str = function Str s -> Some s | _ -> None
+  let to_list = function List l -> Some l | _ -> None
+
+  let to_int = function
+    | Num v when Float.is_integer v -> Some (int_of_float v)
+    | _ -> None
+
+  let mem_num key j = Option.bind (member key j) to_num
+  let mem_int key j = Option.bind (member key j) to_int
+  let mem_str key j = Option.bind (member key j) to_str
+  let mem_list key j = Option.bind (member key j) to_list
 end
 
 module Trace = struct
   type event = { name : string; ts_us : float; dur_us : float; depth : int }
 
   type sink = {
-    epoch : float;  (* Unix.gettimeofday at creation *)
+    epoch : float;  (* Clock.now at creation; monotonic, arbitrary origin *)
     mutable recorded : event list;  (* completion order, reversed *)
     mutable count : int;
     mutable depth : int;
   }
 
   let make_sink () =
-    { epoch = Unix.gettimeofday (); recorded = []; count = 0; depth = 0 }
+    { epoch = Clock.now (); recorded = []; count = 0; depth = 0 }
 
   let current : sink option ref = ref None
 
@@ -292,7 +320,7 @@ module Trace = struct
   let enabled () = !current <> None
 
   let record s name t0 =
-    let now = Unix.gettimeofday () in
+    let now = Clock.now () in
     s.depth <- s.depth - 1;
     s.recorded <-
       {
@@ -308,7 +336,7 @@ module Trace = struct
     match !current with
     | None -> f ()
     | Some s ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now () in
       s.depth <- s.depth + 1;
       let result =
         try f ()
@@ -478,6 +506,52 @@ module Metrics = struct
         h.max_seen <- 0.0;
         Array.fill h.samples 0 sample_cap 0.0)
       histogram_registry
+
+  (* --- GC deltas --- *)
+
+  (* [Gc.quick_stat] is cheap (no heap traversal), so bracketing a
+     measured region with [gc_mark]/[gc_delta] costs two struct reads.
+     Its [minor_words] field, however, only refreshes at GC boundaries
+     on OCaml 5, so a region that never triggers a minor collection
+     would read as zero allocation; [Gc.minor_words ()] reads the live
+     allocation pointer and is carried in the mark separately.
+     [top_heap_words] is a process-lifetime high-water mark, not a
+     resettable counter, so the delta reports its absolute value: "the
+     peak heap while (or before) this region ran". *)
+  type gc_mark = { gm_stat : Gc.stat; gm_minor_words : float }
+
+  let gc_mark () = { gm_stat = Gc.quick_stat (); gm_minor_words = Gc.minor_words () }
+
+  type gc_delta = {
+    minor_collections : int;
+    major_collections : int;
+    allocated_words : float;  (** minor + major - promoted, i.e. fresh *)
+    top_heap_words : int;  (** peak heap words, absolute *)
+  }
+
+  let gc_delta (m : gc_mark) : gc_delta =
+    let s = Gc.quick_stat () in
+    let minor_words_now = Gc.minor_words () in
+    {
+      minor_collections =
+        s.Gc.minor_collections - m.gm_stat.Gc.minor_collections;
+      major_collections =
+        s.Gc.major_collections - m.gm_stat.Gc.major_collections;
+      allocated_words =
+        minor_words_now -. m.gm_minor_words
+        +. (s.Gc.major_words -. m.gm_stat.Gc.major_words)
+        -. (s.Gc.promoted_words -. m.gm_stat.Gc.promoted_words);
+      top_heap_words = s.Gc.top_heap_words;
+    }
+
+  let gc_delta_to_json (d : gc_delta) : Json.t =
+    Json.Obj
+      [
+        "minor_collections", Json.num_of_int d.minor_collections;
+        "major_collections", Json.num_of_int d.major_collections;
+        "allocated_words", Json.Num d.allocated_words;
+        "top_heap_words", Json.num_of_int d.top_heap_words;
+      ]
 
   let to_json () : Json.t =
     Json.Obj

@@ -6,6 +6,23 @@
     tracer is pay-for-what-you-use: with no sink installed,
     {!Trace.with_span} is a direct call to the thunk and records nothing. *)
 
+(** Monotonic time source for every measurement in the system.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] (gettimeofday where the
+    platform lacks it), so spans and benchmark baselines are immune to NTP
+    slews and wall-clock jumps.  The epoch is arbitrary: readings are only
+    meaningful subtracted from each other. *)
+module Clock : sig
+  val now_ns : unit -> int64
+  (** Nanoseconds since an arbitrary origin; monotone non-decreasing. *)
+
+  val now : unit -> float
+  (** Same reading in seconds. *)
+
+  val elapsed : int64 -> float
+  (** [elapsed mark] is the seconds elapsed since [mark = now_ns ()]. *)
+end
+
 (** Minimal JSON: a locale-stable writer and a strict parser.
 
     The writer always uses ['.'] as the decimal separator and never emits
@@ -33,6 +50,22 @@ module Json : sig
 
   val member : string -> t -> t option
   (** Field lookup on [Obj]; [None] on anything else. *)
+
+  (** Shape accessors for schema decoding: the value if it has the asked
+      shape, [None] otherwise.  [to_int] additionally requires the number
+      to be integral. *)
+
+  val to_num : t -> float option
+  val to_int : t -> int option
+  val to_str : t -> string option
+  val to_list : t -> t list option
+
+  (** [mem_* key j] = [member key j] filtered through the accessor. *)
+
+  val mem_num : string -> t -> float option
+  val mem_int : string -> t -> int option
+  val mem_str : string -> t -> string option
+  val mem_list : string -> t -> t list option
 end
 
 (** Nested wall-clock spans with a single global sink.
@@ -122,6 +155,27 @@ module Metrics : sig
   (** Sorted by name. *)
 
   val reset : unit -> unit
+
+  (** Allocation accounting for a measured region, via [Gc.quick_stat]
+      deltas (no heap traversal, so marking is cheap enough for per-case
+      benchmarking). *)
+
+  type gc_mark
+
+  val gc_mark : unit -> gc_mark
+
+  type gc_delta = {
+    minor_collections : int;
+    major_collections : int;
+    allocated_words : float;
+        (** words allocated by the region: minor + major - promoted *)
+    top_heap_words : int;
+        (** peak heap words of the {e process} at delta time — a
+            high-water mark, not a per-region figure *)
+  }
+
+  val gc_delta : gc_mark -> gc_delta
+  val gc_delta_to_json : gc_delta -> Json.t
 
   val to_json : unit -> Json.t
   (** [{"counters": {...}, "histograms": {name: {count, sum, min, max,

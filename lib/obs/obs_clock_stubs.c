@@ -1,0 +1,28 @@
+/* Monotonic clock for Obs.Clock.
+
+   Baselines compare wall times across runs, so the time source must be
+   immune to NTP slews and wall-clock jumps: clock_gettime(CLOCK_MONOTONIC)
+   where the platform has it, gettimeofday otherwise (macOS < 10.12, odd
+   libcs).  Returns nanoseconds as int64; the epoch is arbitrary — only
+   differences are meaningful. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value smartly_obs_monotonic_ns(value unit)
+{
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_int64((int64_t)tv.tv_sec * 1000000000
+                           + (int64_t)tv.tv_usec * 1000);
+  }
+}

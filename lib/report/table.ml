@@ -6,8 +6,44 @@ type column = { title : string; align : align }
 
 let column ?(align = Right) title = { title; align }
 
-let pad align width s =
+(* --- ANSI color --- *)
+
+(* Off by default so tests, artifacts and piped output stay byte-stable;
+   the CLIs flip it on after their own isatty/NO_COLOR check.  Colored
+   cells still align because padding counts visible characters only. *)
+let color_enabled = ref false
+
+let set_color on = color_enabled := on
+
+type color = Green | Red | Yellow | Dim
+
+let sgr = function
+  | Green -> "\027[32m"
+  | Red -> "\027[31m"
+  | Yellow -> "\027[33m"
+  | Dim -> "\027[2m"
+
+let colorize c s = if !color_enabled then sgr c ^ s ^ "\027[0m" else s
+
+(* Visible width: skip CSI sequences (ESC '[' ... final byte 0x40-0x7e).
+   That is the only escape family [colorize] emits, and counting anything
+   else verbatim is the right conservative fallback. *)
+let visible_length s =
   let n = String.length s in
+  let rec go i acc =
+    if i >= n then acc
+    else if s.[i] = '\027' && i + 1 < n && s.[i + 1] = '[' then (
+      let j = ref (i + 2) in
+      while !j < n && (s.[!j] < '\x40' || s.[!j] > '\x7e') do
+        incr j
+      done;
+      go (min n (!j + 1)) acc)
+    else go (i + 1) (acc + 1)
+  in
+  go 0 0
+
+let pad align width s =
+  let n = visible_length s in
   if n >= width then s
   else
     match align with
@@ -21,7 +57,7 @@ let render ~columns ~(rows : string list list) : string =
         List.fold_left
           (fun acc row ->
             match List.nth_opt row i with
-            | Some cell -> max acc (String.length cell)
+            | Some cell -> max acc (visible_length cell)
             | None -> acc)
           (String.length col.title)
           rows)

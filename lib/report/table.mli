@@ -6,6 +6,21 @@ type column = { title : string; align : align }
 
 val column : ?align:align -> string -> column
 
+(** ANSI coloring for table cells.  Disabled by default (artifacts and
+    piped output stay byte-stable); a CLI that has checked isatty /
+    [NO_COLOR] turns it on with {!set_color}.  Padding counts visible
+    characters, so colored cells align. *)
+
+type color = Green | Red | Yellow | Dim
+
+val set_color : bool -> unit
+
+val colorize : color -> string -> string
+(** Identity when color is disabled. *)
+
+val visible_length : string -> int
+(** String length with ANSI CSI escape sequences skipped. *)
+
 val render : columns:column list -> rows:string list list -> string
 val print : columns:column list -> rows:string list list -> unit
 

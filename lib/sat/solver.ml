@@ -597,12 +597,12 @@ type solve_stats = {
 
 let solve ?assumptions ?budget (s : t) : result =
   let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let r = solve_raw ?assumptions ?budget s in
   s.last_conflicts <- s.conflicts - c0;
   s.last_decisions <- s.decisions - d0;
   s.last_propagations <- s.propagations - p0;
-  s.last_wall_s <- Unix.gettimeofday () -. t0;
+  s.last_wall_s <- Obs.Clock.now () -. t0;
   r
 
 let last_solve_stats (s : t) =
