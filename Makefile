@@ -17,13 +17,26 @@ bench: build
 # must match exactly; wall-time and GC metrics get a noise band,
 # widened by --threshold-scale because this also runs on shared CI
 # machines.  The diff table lands in /tmp/smartly_bench_diff.txt for
-# artifact upload.  The second half is a self-test of the gate itself:
-# --pessimize turns the smartly flows into no-ops, so the re-measured
-# areas genuinely regress and the gate MUST fail — if it passes, the
-# gate is broken and the target errors out.
+# artifact upload.
+#
+# The gate runs twice.  Baselines are recorded with --no-sat-memo
+# (verdict cache off, SAT session on), so the --no-sat-memo leg must
+# reproduce every deterministic counter exactly — this proves the
+# committed SAT-conflict/time numbers were beaten by the incremental
+# solver itself, not by a cache shortcut that could mask a solver
+# regression.  The default leg then runs with the memo enabled: areas
+# and cell counts must still match exactly, while the SAT counters may
+# only improve (the gate passes Improved, fails Regressed).
+#
+# The last step is a self-test of the gate itself: --pessimize turns
+# the smartly flows into no-ops, so the re-measured areas genuinely
+# regress and the gate MUST fail — if it passes, the gate is broken
+# and the target errors out.
 bench-check: build
-	dune exec bench/main.exe -- table2 mux_chain --check \
+	dune exec bench/main.exe -- table2 mux_chain --check --no-sat-memo \
 	  --threshold-scale 4 --report /tmp/smartly_bench_diff.txt
+	dune exec bench/main.exe -- table2 mux_chain --check \
+	  --threshold-scale 4 --report /tmp/smartly_bench_diff_memo.txt
 	@if dune exec bench/main.exe -- mux_chain --check --pessimize \
 	    --report /tmp/smartly_bench_pessimized.txt >/dev/null 2>&1; then \
 	  echo "bench-check: BROKEN GATE — pessimized run passed"; exit 1; \
@@ -34,12 +47,17 @@ bench-check: build
 # Refresh every committed baseline.  The heavy sections run once (their
 # deterministic metrics don't need repetitions and table2 alone takes
 # minutes); the fast mux_chain section runs three times so its timing
-# medians are meaningful.  Commit the resulting bench/baselines/*.json
-# together with the change that moved the numbers.
+# medians are meaningful.  Baselines are recorded with --no-sat-memo:
+# the verdict cache off makes every SAT counter deterministic and
+# exactly reproducible by the memo-off gate leg, and the default
+# (memo-on) gate leg must then beat them rather than merely match.
+# Commit the resulting bench/baselines/*.json together with the change
+# that moved the numbers.
 bench-baselines: build
 	dune exec bench/main.exe -- table2 table3 industrial \
-	  --update-baselines --reps 1
-	dune exec bench/main.exe -- mux_chain --update-baselines --reps 3
+	  --update-baselines --no-sat-memo --reps 1
+	dune exec bench/main.exe -- mux_chain --update-baselines --no-sat-memo \
+	  --reps 3
 
 # What CI runs: build, the full test suite, then an end-to-end smoke of
 # the observability surface — optimize the fast mux_chain profile with

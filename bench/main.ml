@@ -31,7 +31,12 @@
      --report FILE         also write the diff tables + verdict to FILE
      --pessimize           run the smaRTLy variants as no-ops: a
                            deliberate pessimization that self-tests the
-                           regression gate end to end *)
+                           regression gate end to end
+     --no-sat-memo         disable the cross-query verdict cache in the
+                           smaRTLy variants; baselines are recorded in this
+                           mode so the memo-off CI leg reproduces the
+                           deterministic counters exactly, while the
+                           default leg must only ever improve on them *)
 
 open Netlist
 
@@ -47,6 +52,7 @@ let baseline_dir = ref Perf.Store.default_dir
 let threshold_scale = ref 1.0
 let report_path = ref None
 let pessimize = ref false
+let no_sat_memo = ref false
 
 (* statistical sections stash their fresh document here; main () compares
    / gates over all of them at once *)
@@ -98,7 +104,15 @@ let optimized flow (c0 : Circuit.t) =
     (* gate self-test: leave the circuit untouched, so every smaRTLy
        area/cells_removed metric regresses against a real baseline *)
     ()
-  | `Smartly cfg -> ignore (Smartly.Driver.smartly ~cfg c));
+  | `Smartly cfg ->
+    (* --no-sat-memo runs the flow without the cross-query verdict cache;
+       this is how baselines are recorded, so the CI memo-off gate leg
+       reproduces the deterministic counters exactly *)
+    let cfg =
+      if !no_sat_memo then { cfg with Smartly.Config.enable_sat_memo = false }
+      else cfg
+    in
+    ignore (Smartly.Driver.smartly ~cfg c));
   c
 
 (* --- the one statistical case runner every table section shares --- *)
@@ -135,7 +149,8 @@ type case_result = {
    flow variants, or table cases *)
 let reset_instruments () =
   Obs.Metrics.reset ();
-  Smartly.Engine.Sat_log.reset ()
+  Smartly.Engine.Sat_log.reset ();
+  Smartly.Memo.reset ()
 
 let measure_flow flow (c0 : Circuit.t) : flow_meas * Circuit.t =
   let c, t =
@@ -744,7 +759,7 @@ let usage () =
     "usage: bench [SECTION...] [--json] [--out DIR] [--reps N]\n\
     \             [--compare | --check] [--update-baselines]\n\
     \             [--baseline-dir DIR] [--threshold-scale X]\n\
-    \             [--report FILE] [--pessimize]\n\
+    \             [--report FILE] [--pessimize] [--no-sat-memo]\n\
      sections: table2 table3 industrial mux_chain figures ablation timing all";
   exit 2
 
@@ -772,6 +787,9 @@ let () =
       parse sections rest
     | "--pessimize" :: rest ->
       pessimize := true;
+      parse sections rest
+    | "--no-sat-memo" :: rest ->
+      no_sat_memo := true;
       parse sections rest
     | "--out" :: rest ->
       let v, rest = needs_value "--out" rest in

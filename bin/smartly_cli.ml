@@ -110,6 +110,25 @@ let provenance_arg =
            netlist mutation) to FILE; aggregate it with $(b,smartly \
            explain).")
 
+let no_sat_memo_arg =
+  Arg.(
+    value & flag
+    & info [ "no-sat-memo" ]
+        ~doc:
+          "Disable the cross-query verdict cache: every sim/SAT query is \
+           resolved from scratch.  The final netlist is identical either \
+           way; this knob exists for benchmarking and for proving it.")
+
+let sat_session_arg =
+  Arg.(
+    value
+    & opt ~vopt:true bool true
+    & info [ "sat-session" ] ~docv:"BOOL"
+        ~doc:
+          "Use one persistent incremental SAT solver for all queries of a \
+           run (default).  $(b,--sat-session=false) falls back to a fresh \
+           solver and Tseitin encoding per query.")
+
 let sat_dump_arg =
   Arg.(
     value
@@ -232,7 +251,8 @@ let flow_name = function
   | `Sat -> "sat"
   | `Rebuild -> "rebuild"
 
-let run_flow ?after_pass flow (c : Netlist.Circuit.t) : outcome =
+let run_flow ?after_pass ?(sat_memo = true) ?(sat_session = true) flow
+    (c : Netlist.Circuit.t) : outcome =
   match flow with
   | `None -> O_none
   | `Yosys -> O_yosys (Smartly.Driver.yosys ?after_pass c)
@@ -242,6 +262,13 @@ let run_flow ?after_pass flow (c : Netlist.Circuit.t) : outcome =
       | `Sat -> Smartly.Config.sat_only
       | `Rebuild -> Smartly.Config.rebuild_only
       | `Smartly -> Smartly.Config.default
+    in
+    let cfg =
+      {
+        cfg with
+        Smartly.Config.enable_sat_memo = sat_memo;
+        enable_sat_session = sat_session;
+      }
     in
     O_smartly (Smartly.Driver.smartly ~cfg ?after_pass c)
 
@@ -271,6 +298,8 @@ let engine_totals (o : outcome) : Smartly.Engine.stats =
         acc.rule_hits <- acc.rule_hits + e.rule_hits;
         acc.sim_queries <- acc.sim_queries + e.sim_queries;
         acc.sat_queries <- acc.sat_queries + e.sat_queries;
+        acc.memo_hits <- acc.memo_hits + e.memo_hits;
+        acc.memo_misses <- acc.memo_misses + e.memo_misses;
         acc.forgone <- acc.forgone + e.forgone;
         acc.subgraph_kept <- acc.subgraph_kept + e.subgraph_kept;
         acc.subgraph_dropped <- acc.subgraph_dropped + e.subgraph_dropped;
@@ -356,10 +385,13 @@ let stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink ~psink :
             "propagations", num_of_int e.Smartly.Engine.sat_propagations;
             "rule_hits", num_of_int e.Smartly.Engine.rule_hits;
             "sim_queries", num_of_int e.Smartly.Engine.sim_queries;
+            "memo_hits", num_of_int e.Smartly.Engine.memo_hits;
+            "memo_misses", num_of_int e.Smartly.Engine.memo_misses;
             "forgone", num_of_int e.Smartly.Engine.forgone;
             "subgraph_kept", num_of_int e.Smartly.Engine.subgraph_kept;
             "subgraph_dropped", num_of_int e.Smartly.Engine.subgraph_dropped;
           ] );
+      "memo", Smartly.Memo.to_json ();
       "cells_removed", num_of_int (Obs.Metrics.value m_flow_cells_removed);
       ( "sat_percentiles",
         Obj
@@ -390,7 +422,7 @@ let check_invariants_arg =
 
 let opt_cmd =
   let run src style flow check verbose trace json provenance sat_dump
-      check_invariants =
+      check_invariants no_sat_memo sat_session =
     let c = load_circuit ~style src in
     let orig = Netlist.Circuit.copy c in
     let invariants =
@@ -424,9 +456,12 @@ let opt_cmd =
     in
     Obs.Metrics.reset ();
     Smartly.Engine.Sat_log.reset ();
+    Smartly.Memo.reset ();
     let area0 = Aiger.Aigmap.aig_area c in
     let t0 = Obs.Clock.now () in
-    let outcome = run_flow ?after_pass flow c in
+    let outcome =
+      run_flow ?after_pass ~sat_memo:(not no_sat_memo) ~sat_session flow c
+    in
     let dt = Obs.Clock.now () -. t0 in
     let area1 = Aiger.Aigmap.aig_area c in
     Obs.Trace.uninstall ();
@@ -470,6 +505,16 @@ let opt_cmd =
     Fmt.pf human "%s: AIG area %d -> %d (%s reduction) in %s@."
       (flow_name flow) area0 area1 (Report.Table.pct red)
       (Report.Table.secs dt);
+    (let e = engine_totals outcome in
+     let consults = e.Smartly.Engine.memo_hits + e.Smartly.Engine.memo_misses in
+     if consults > 0 then
+       Fmt.pf human "memo: %d/%d hits (%s), %d entries@."
+         e.Smartly.Engine.memo_hits consults
+         (Report.Table.pct
+            (100.0
+            *. float_of_int e.Smartly.Engine.memo_hits
+            /. float_of_int consults))
+         (Smartly.Memo.size ()));
     if json then
       print_endline
         (Obs.Json.to_string ~pretty:true
@@ -498,7 +543,7 @@ let opt_cmd =
     Term.(
       const run $ src_arg $ style_arg $ flow_arg $ check_arg $ verbose_arg
       $ trace_arg $ json_arg $ provenance_arg $ sat_dump_arg
-      $ check_invariants_arg)
+      $ check_invariants_arg $ no_sat_memo_arg $ sat_session_arg)
 
 let write_verilog_cmd =
   let out_arg =

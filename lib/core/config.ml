@@ -14,6 +14,12 @@ type t = {
   enable_inference_rules : bool; (* Table I propagation *)
   enable_pruning : bool; (* Theorem II.1 sub-graph pruning *)
   enable_sat : bool; (* the SAT-based redundancy elimination *)
+  enable_sat_session : bool;
+      (* persistent incremental solver shared by all queries of a run
+         (guarded clause groups, learned clauses survive); [false] falls
+         back to one fresh solver per query *)
+  enable_sat_memo : bool;
+      (* cross-query verdict cache keyed by canonical structural hash *)
   enable_rebuild : bool; (* muxtree restructuring *)
   rebuild_single_ctrl : bool;
       (* enforce the paper's SingleCtrl condition; [false] additionally
@@ -31,6 +37,8 @@ let default =
     enable_inference_rules = true;
     enable_pruning = true;
     enable_sat = true;
+    enable_sat_session = true;
+    enable_sat_memo = true;
     enable_rebuild = true;
     rebuild_single_ctrl = true;
   }

@@ -12,6 +12,12 @@ type t = {
   enable_inference_rules : bool;  (** Table I propagation *)
   enable_pruning : bool;  (** Theorem II.1 sub-graph pruning *)
   enable_sat : bool;  (** the SAT-based redundancy elimination pass *)
+  enable_sat_session : bool;
+      (** persistent incremental solver ({!Cdcl.Session}) shared by all
+          queries of a run; [false] = fresh solver per query *)
+  enable_sat_memo : bool;
+      (** cross-query verdict cache ({!Memo}) consulted before the
+          sim/SAT rungs *)
   enable_rebuild : bool;  (** the muxtree restructuring pass *)
   rebuild_single_ctrl : bool;
       (** enforce the paper's SingleCtrl condition; [false] extends the

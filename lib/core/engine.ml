@@ -16,6 +16,8 @@ type stats = {
   mutable rule_hits : int;
   mutable sim_queries : int;
   mutable sat_queries : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
   mutable forgone : int;
   mutable subgraph_kept : int;
   mutable subgraph_dropped : int;
@@ -29,6 +31,8 @@ let fresh_stats () =
     rule_hits = 0;
     sim_queries = 0;
     sat_queries = 0;
+    memo_hits = 0;
+    memo_misses = 0;
     forgone = 0;
     subgraph_kept = 0;
     subgraph_dropped = 0;
@@ -44,6 +48,7 @@ type source =
   | Via_rule of string (* inference rule family that derived the value *)
   | Via_sim (* exhaustive bit-parallel simulation *)
   | Via_sat of int (* SAT query, carrying the query id *)
+  | Via_memo (* cross-query verdict cache hit *)
   | Via_forgone (* thresholds exceeded; verdict is Unknown *)
 
 let source_name = function
@@ -51,6 +56,7 @@ let source_name = function
   | Via_rule r -> "rule:" ^ r
   | Via_sim -> "sim"
   | Via_sat id -> Printf.sprintf "sat:%d" id
+  | Via_memo -> "memo"
   | Via_forgone -> "forgone"
 
 (* Per-SAT-query telemetry with a bounded buffer of the hardest queries
@@ -62,6 +68,7 @@ module Sat_log = struct
     id : int;
     verdict : string; (* forced_true | forced_false | free | unknown *)
     solve : Cdcl.Solver.result; (* result of the query's final solve *)
+    mode : string; (* fresh | session *)
     conflicts : int;
     decisions : int;
     propagations : int;
@@ -92,7 +99,7 @@ module Sat_log = struct
 
   (* [dimacs] is a thunk so easy queries that don't make the buffer never
      pay for rendering the instance. *)
-  let record ~id ~verdict ~solve ~conflicts ~decisions ~propagations
+  let record ~id ~verdict ~solve ~mode ~conflicts ~decisions ~propagations
       ~wall_s ~vars ~clauses ~(dimacs : unit -> string) =
     incr total;
     let admit =
@@ -109,6 +116,7 @@ module Sat_log = struct
           id;
           verdict;
           solve;
+          mode;
           conflicts;
           decisions;
           propagations;
@@ -145,6 +153,7 @@ module Sat_log = struct
         ("id", Obs.Json.num_of_int e.id);
         ("verdict", Obs.Json.Str e.verdict);
         ("solve", Obs.Json.Str (solve_name e.solve));
+        ("mode", Obs.Json.Str e.mode);
         ("conflicts", Obs.Json.num_of_int e.conflicts);
         ("decisions", Obs.Json.num_of_int e.decisions);
         ("propagations", Obs.Json.num_of_int e.propagations);
@@ -271,28 +280,49 @@ let verdict_query_name = function
   | Cdcl.Tseitin.Forced true -> "forced_true"
   | Cdcl.Tseitin.Forced false -> "forced_false"
   | Cdcl.Tseitin.Free -> "free"
+  | Cdcl.Tseitin.Contradictory -> "unreachable"
   | Cdcl.Tseitin.Undetermined -> "unknown"
 
 (* Encode, query, and log one SAT query; returns the verdict and the
-   query id assigned to it. *)
-let query_sat_how ?stats (circuit : Circuit.t) (view : Subgraph.view)
+   query id assigned to it.
+
+   With [session], the persistent solver is reused: the view's cells are
+   lazily encoded as guarded clause groups ([Cdcl.Session.prepare]) and
+   this query activates exactly them by assuming their guard literals, so
+   the verdict is identical to a fresh encoding of the view while learned
+   clauses and the variable map survive to the next query. *)
+let query_sat_how ?stats ?session (circuit : Circuit.t) (view : Subgraph.view)
     (known : Inference.known) ~budget ~(target : Bits.bit) : verdict * int =
   let qid = Sat_log.fresh_id () in
-  let enc = Cdcl.Tseitin.create () in
-  Cdcl.Tseitin.encode_cells enc circuit view.Subgraph.cells;
+  let enc, guards, relevant, mode =
+    match session with
+    | Some sess ->
+      let guards, relevant =
+        Cdcl.Session.prepare sess circuit view.Subgraph.cells
+      in
+      (Cdcl.Session.encoder sess, guards, Some relevant, "session")
+    | None ->
+      let enc = Cdcl.Tseitin.create () in
+      Cdcl.Tseitin.encode_cells enc circuit view.Subgraph.cells;
+      (enc, [], None, "fresh")
+  in
   let assumptions =
-    Bits.Bit_tbl.fold
-      (fun b v acc -> Cdcl.Tseitin.assume_lit enc b v :: acc)
-      known []
+    guards
+    @ Bits.Bit_tbl.fold
+        (fun b v acc -> Cdcl.Tseitin.assume_lit enc b v :: acc)
+        known []
   in
+  (* snapshot around the query so a persistent solver's lifetime totals
+     don't leak into per-query telemetry (fresh solvers start at zero, so
+     the deltas are identical to the old totals there) *)
+  let c0, d0, p0 = Cdcl.Solver.stats enc.Cdcl.Tseitin.solver in
   let t0 = Obs.Clock.now () in
-  let r, info = Cdcl.Tseitin.query_forced_info ~budget enc ~assumptions ~target in
-  let wall_s = Obs.Clock.now () -. t0 in
-  (* the encoder's solver is fresh per query, so its lifetime totals are
-     exactly this query's cost (both polarity solves) *)
-  let conflicts, decisions, propagations =
-    Cdcl.Solver.stats enc.Cdcl.Tseitin.solver
+  let r, info =
+    Cdcl.Tseitin.query_forced_info ~budget ?relevant enc ~assumptions ~target
   in
+  let wall_s = Obs.Clock.now () -. t0 in
+  let c1, d1, p1 = Cdcl.Solver.stats enc.Cdcl.Tseitin.solver in
+  let conflicts, decisions, propagations = (c1 - c0, d1 - d0, p1 - p0) in
   Obs.Metrics.add m_sat_conflicts conflicts;
   Obs.Metrics.add m_sat_decisions decisions;
   Obs.Metrics.add m_sat_propagations propagations;
@@ -307,9 +337,12 @@ let query_sat_how ?stats (circuit : Circuit.t) (view : Subgraph.view)
   let vars = Cdcl.Solver.num_vars enc.Cdcl.Tseitin.solver in
   let clauses = Cdcl.Solver.num_clauses enc.Cdcl.Tseitin.solver in
   let dimacs () =
-    (* self-contained instance: encoding + assumptions and the final
-       target polarity as unit clauses, so a plain solve of the file must
-       reproduce [info.last_result] *)
+    (* self-contained instance: encoding + assumptions (path facts AND
+       session guard literals) and the final target polarity as unit
+       clauses, so a plain solve of the file must reproduce
+       [info.last_result].  In session mode the log also holds inactive
+       clause groups; their guards stay free, so any solver can satisfy
+       them by switching those groups off. *)
     let extra =
       List.map (fun l -> [ l ]) assumptions
       @ [ [ info.Cdcl.Tseitin.last_target_lit ] ]
@@ -317,25 +350,26 @@ let query_sat_how ?stats (circuit : Circuit.t) (view : Subgraph.view)
     let cnf = Cdcl.Tseitin.to_dimacs enc ~extra in
     let meta =
       Printf.sprintf
-        "smartly-sat-query id=%d verdict=%s solve=%s conflicts=%d \
+        "smartly-sat-query id=%d verdict=%s solve=%s mode=%s conflicts=%d \
          decisions=%d propagations=%d wall_us=%.0f"
         qid (verdict_query_name r)
         (Sat_log.solve_name info.Cdcl.Tseitin.last_result)
-        conflicts decisions propagations (wall_s *. 1e6)
+        mode conflicts decisions propagations (wall_s *. 1e6)
     in
     Cdcl.Dimacs.to_string ~comments:[ meta ] cnf
   in
   Sat_log.record ~id:qid ~verdict:(verdict_query_name r)
-    ~solve:info.Cdcl.Tseitin.last_result ~conflicts ~decisions ~propagations
-    ~wall_s ~vars ~clauses ~dimacs;
+    ~solve:info.Cdcl.Tseitin.last_result ~mode ~conflicts ~decisions
+    ~propagations ~wall_s ~vars ~clauses ~dimacs;
   ( (match r with
     | Cdcl.Tseitin.Forced v -> Forced v
     | Cdcl.Tseitin.Free -> Free
+    | Cdcl.Tseitin.Contradictory -> Unreachable
     | Cdcl.Tseitin.Undetermined -> Unknown),
     qid )
 
-let query_sat ?stats circuit view known ~budget ~target : verdict =
-  fst (query_sat_how ?stats circuit view known ~budget ~target)
+let query_sat ?stats ?session circuit view known ~budget ~target : verdict =
+  fst (query_sat_how ?stats ?session circuit view known ~budget ~target)
 
 (* --- the combined engine --- *)
 
@@ -343,9 +377,9 @@ let query_sat ?stats circuit view known ~budget ~target : verdict =
    from the distance-k cones of the target and of every known signal (the
    only gates Theorem II.1 allows to matter), then pruned.  [known] is
    copied; the caller's map is never polluted by inferred values. *)
-let determine_how (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
-    (index : Index.t) (known : Inference.known) ~(target : Bits.bit) :
-    verdict * source =
+let determine_how ?session (cfg : Config.t) (stats : stats)
+    (circuit : Circuit.t) (index : Index.t) (known : Inference.known)
+    ~(target : Bits.bit) : verdict * source =
   match Inference.read known target with
   | Some v -> (Forced v, Via_lookup) (* identical-signal case, free *)
   | None ->
@@ -410,28 +444,64 @@ let determine_how (cfg : Config.t) (stats : stats) (circuit : Circuit.t)
             view.Subgraph.sources
         in
         let n = List.length free_inputs in
-        if n <= cfg.Config.sim_input_threshold then begin
-          stats.sim_queries <- stats.sim_queries + 1;
-          Obs.Metrics.incr m_sim_queries;
-          (simulate_exhaustive circuit view local ~free_inputs ~target, Via_sim)
-        end
-        else if n <= cfg.Config.sat_input_threshold then begin
-          stats.sat_queries <- stats.sat_queries + 1;
-          Obs.Metrics.incr m_sat_queries;
-          let v, qid =
-            query_sat_how ~stats circuit view local
-              ~budget:cfg.Config.sat_conflict_budget ~target
-          in
-          (v, Via_sat qid)
-        end
-        else begin
+        if
+          n > cfg.Config.sim_input_threshold
+          && n > cfg.Config.sat_input_threshold
+        then begin
           stats.forgone <- stats.forgone + 1;
           Obs.Metrics.incr m_forgone;
           (Unknown, Via_forgone)
+        end
+        else begin
+          (* sim and SAT verdicts are pure functions of (view, knowns,
+             target): consult the cross-query cache before either rung *)
+          let mkey =
+            if cfg.Config.enable_sat_memo then
+              Some (Memo.key circuit view local ~target)
+            else None
+          in
+          match Option.bind mkey Memo.find with
+          | Some mv ->
+            stats.memo_hits <- stats.memo_hits + 1;
+            let v =
+              match mv with
+              | Memo.Forced b -> Forced b
+              | Memo.Free -> Free
+              | Memo.Unreachable -> Unreachable
+            in
+            (v, Via_memo)
+          | None ->
+            if mkey <> None then stats.memo_misses <- stats.memo_misses + 1;
+            let v, src =
+              if n <= cfg.Config.sim_input_threshold then begin
+                stats.sim_queries <- stats.sim_queries + 1;
+                Obs.Metrics.incr m_sim_queries;
+                ( simulate_exhaustive circuit view local ~free_inputs ~target,
+                  Via_sim )
+              end
+              else begin
+                stats.sat_queries <- stats.sat_queries + 1;
+                Obs.Metrics.incr m_sat_queries;
+                let v, qid =
+                  query_sat_how ~stats ?session circuit view local
+                    ~budget:cfg.Config.sat_conflict_budget ~target
+                in
+                (v, Via_sat qid)
+              end
+            in
+            (match mkey with
+            | Some k -> (
+              match v with
+              | Forced b -> Memo.store k (Memo.Forced b)
+              | Free -> Memo.store k Memo.Free
+              | Unreachable -> Memo.store k Memo.Unreachable
+              | Unknown -> () (* budget-dependent, never cached *))
+            | None -> ());
+            (v, src)
         end
       | exception Inference.Contradiction -> (Unreachable, Via_rule "contradiction")
     end
     end
 
-let determine cfg stats circuit index known ~target : verdict =
-  fst (determine_how cfg stats circuit index known ~target)
+let determine ?session cfg stats circuit index known ~target : verdict =
+  fst (determine_how ?session cfg stats circuit index known ~target)

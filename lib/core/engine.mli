@@ -17,6 +17,10 @@ type stats = {
   mutable rule_hits : int;
   mutable sim_queries : int;
   mutable sat_queries : int;
+  mutable memo_hits : int;
+      (** verdicts answered by the cross-query cache ({!Memo}) *)
+  mutable memo_misses : int;
+      (** cache consults that fell through to sim/SAT *)
   mutable forgone : int;
   mutable subgraph_kept : int;
   mutable subgraph_dropped : int;
@@ -35,10 +39,12 @@ type source =
   | Via_rule of string  (** inference rule family that derived the value *)
   | Via_sim  (** exhaustive bit-parallel simulation *)
   | Via_sat of int  (** SAT query, carrying the query id *)
+  | Via_memo  (** cross-query verdict cache hit *)
   | Via_forgone  (** thresholds exceeded; verdict is [Unknown] *)
 
 val source_name : source -> string
-(** ["lookup"], ["rule:or"], ["sim"], ["sat:42"], ["forgone"]. *)
+(** ["lookup"], ["rule:or"], ["sim"], ["sat:42"], ["memo"],
+    ["forgone"]. *)
 
 (** Per-SAT-query telemetry and a bounded buffer of the hardest queries
     (by conflicts), each with a self-contained DIMACS dump replayable by
@@ -48,8 +54,9 @@ module Sat_log : sig
   type entry = {
     id : int;  (** query id, 0-based per {!reset} *)
     verdict : string;
-        (** [forced_true | forced_false | free | unknown] *)
+        (** [forced_true | forced_false | free | unreachable | unknown] *)
     solve : Cdcl.Solver.result;  (** result of the query's final solve *)
+    mode : string;  (** ["fresh"] or ["session"] *)
     conflicts : int;  (** over both polarity solves *)
     decisions : int;
     propagations : int;
@@ -94,18 +101,24 @@ val simulate_exhaustive :
 
 val query_sat :
   ?stats:stats ->
+  ?session:Cdcl.Session.t ->
   Circuit.t ->
   Subgraph.view ->
   Inference.known ->
   budget:int ->
   target:Bits.bit ->
   verdict
-(** One Tseitin encoding + forced-value query.  When [stats] is given the
-    solver's conflict/decision/propagation totals are accumulated into it
-    (and into the global {!Obs.Metrics} registry). *)
+(** One forced-value query.  Without [session], a fresh Tseitin encoding
+    and solver; with [session], the persistent solver answers it — the
+    view's cells are lazily encoded as guarded clause groups and activated
+    by assumptions, so the verdict is the same while learned clauses and
+    the variable map carry over to the next query.  When [stats] is given
+    the query's conflict/decision/propagation deltas are accumulated into
+    it (and into the global {!Obs.Metrics} registry). *)
 
 val query_sat_how :
   ?stats:stats ->
+  ?session:Cdcl.Session.t ->
   Circuit.t ->
   Subgraph.view ->
   Inference.known ->
@@ -115,6 +128,7 @@ val query_sat_how :
 (** Like {!query_sat}, also returning the {!Sat_log} query id. *)
 
 val determine :
+  ?session:Cdcl.Session.t ->
   Config.t ->
   stats ->
   Circuit.t ->
@@ -124,9 +138,13 @@ val determine :
   verdict
 (** Build the bounded sub-graph from the cones of the target and the known
     signals, prune it (Theorem II.1), and run the ladder.  The caller's
-    known map is never polluted with inferred values. *)
+    known map is never polluted with inferred values.  When
+    [cfg.enable_sat_memo] is set, the sim/SAT rungs are fronted by the
+    cross-query cache ({!Memo}); [session] routes SAT queries through the
+    persistent incremental solver. *)
 
 val determine_how :
+  ?session:Cdcl.Session.t ->
   Config.t ->
   stats ->
   Circuit.t ->

@@ -23,11 +23,12 @@ type report = {
 
 let pp_report ppf r =
   Fmt.pf ppf
-    "bypassed=%d data_folded=%d dead=%d rules=%d sim=%d sat=%d forgone=%d \
-     kept=%d dropped=%d conflicts=%d decisions=%d props=%d"
+    "bypassed=%d data_folded=%d dead=%d rules=%d sim=%d sat=%d memo=%d/%d \
+     forgone=%d kept=%d dropped=%d conflicts=%d decisions=%d props=%d"
     r.muxes_bypassed r.data_bits_folded r.dead_branches
     r.engine.Engine.rule_hits r.engine.Engine.sim_queries
-    r.engine.Engine.sat_queries r.engine.Engine.forgone
+    r.engine.Engine.sat_queries r.engine.Engine.memo_hits
+    r.engine.Engine.memo_misses r.engine.Engine.forgone
     r.engine.Engine.subgraph_kept r.engine.Engine.subgraph_dropped
     r.engine.Engine.sat_conflicts r.engine.Engine.sat_decisions
     r.engine.Engine.sat_propagations
@@ -38,6 +39,9 @@ type ctx = {
   index : Index.t;
   readers : OM.readers;
   stats : Engine.stats;
+  session : Cdcl.Session.t option;
+      (* one persistent incremental solver for every SAT query of the run;
+         [None] when [cfg.enable_sat_session] is off *)
   mutable bypassed : int;
   mutable folded : int;
   mutable dead : int;
@@ -55,6 +59,7 @@ let mechanism_of_source (src : Engine.source) :
   | Engine.Via_rule r -> (Obs.Provenance.Rule r, None)
   | Engine.Via_sim -> (Obs.Provenance.Rule "sim", None)
   | Engine.Via_sat qid -> (Obs.Provenance.Sat, Some qid)
+  | Engine.Via_memo -> (Obs.Provenance.Memo, None)
   | Engine.Via_forgone -> (Obs.Provenance.Pruned, None)
 
 let with_fact known (bit : Bits.bit) v =
@@ -82,8 +87,8 @@ let resolve_select ctx known (s : Bits.bit) :
            covers those, skip the expensive query *)
         (Engine.Unknown, Engine.Via_forgone)
       else
-        Engine.determine_how ctx.cfg ctx.stats ctx.c ctx.index known
-          ~target:s)
+        Engine.determine_how ?session:ctx.session ctx.cfg ctx.stats ctx.c
+          ctx.index known ~target:s)
 
 (* Substitute data-port bits under [known]: direct lookups plus values the
    inference rules derive on a bounded view built from the cones of the
@@ -284,6 +289,9 @@ let run_once (cfg : Config.t) (c : Circuit.t) : report =
       index;
       readers = OM.collect_readers c;
       stats = Engine.fresh_stats ();
+      session =
+        (if cfg.Config.enable_sat_session then Some (Cdcl.Session.create ())
+         else None);
       bypassed = 0;
       folded = 0;
       dead = 0;

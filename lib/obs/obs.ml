@@ -584,7 +584,7 @@ module Provenance = struct
      single match on a ref and records nothing, so instrumented passes pay
      nothing in normal runs. *)
 
-  type mechanism = Pruned | Rule of string | Sat | Restructure
+  type mechanism = Pruned | Rule of string | Sat | Memo | Restructure
 
   type kind =
     | Cell_removed
@@ -647,12 +647,14 @@ module Provenance = struct
     | Pruned -> "pruned"
     | Rule r -> "rule:" ^ r
     | Sat -> "sat"
+    | Memo -> "memo"
     | Restructure -> "restructure"
 
   let mechanism_of_name s =
     match s with
     | "pruned" -> Some Pruned
     | "sat" -> Some Sat
+    | "memo" -> Some Memo
     | "restructure" -> Some Restructure
     | _ ->
       let prefix = "rule:" in

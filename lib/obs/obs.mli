@@ -195,6 +195,7 @@ module Provenance : sig
     | Pruned  (** reachability pruning / dead-code removal *)
     | Rule of string  (** a named inference or folding rule *)
     | Sat  (** resolved by a SAT query *)
+    | Memo  (** resolved by the cross-query verdict cache *)
     | Restructure  (** muxtree restructuring *)
 
   type kind =

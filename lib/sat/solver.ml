@@ -19,6 +19,7 @@ type result = Sat | Unsat | Unknown
 type t = {
   (* clauses *)
   mutable clauses : clause list;
+  mutable num_problem_clauses : int;
   mutable learnts : clause list;
   mutable num_learnts : int;
   (* variable state, indexed by var *)
@@ -57,6 +58,7 @@ type t = {
 let create () =
   {
     clauses = [];
+    num_problem_clauses = 0;
     learnts = [];
     num_learnts = 0;
     assigns = Array.make 16 (-1);
@@ -87,7 +89,7 @@ let create () =
   }
 
 let num_vars s = s.num_vars
-let num_clauses s = List.length s.clauses
+let num_clauses s = s.num_problem_clauses
 let num_conflicts s = s.conflicts
 
 (* --- dynamic arrays --- *)
@@ -277,6 +279,7 @@ let add_clause s (lits : int list) =
           }
         in
         s.clauses <- c :: s.clauses;
+        s.num_problem_clauses <- s.num_problem_clauses + 1;
         attach_clause s c
     end
   end
@@ -501,7 +504,24 @@ let pick_branch_var s =
 
 type solve_outcome = result
 
-let search s ~assumptions ~budget : solve_outcome =
+(* [budget] here is an absolute conflict count: [solve_raw] has already
+   added the caller's per-call budget to the conflicts accumulated before
+   this call, so a long-lived incremental solver (a [Session]) gets a full
+   budget on every query instead of starving once its lifetime total
+   crosses one budget's worth.
+
+   [relevant], when given, restricts decisions to those variables and lets
+   the search stop with [Sat] once they are all assigned without conflict
+   — a partial model.  The caller guarantees that every clause over the
+   remaining variables is satisfiable under ANY such partial assignment
+   (Session queries: each inactive clause group carries an assumed-false
+   guard, so its clauses are already satisfied, and learned clauses are
+   consequences of the problem clauses, so any extension that satisfies
+   the problem clauses satisfies them too).  Without it every variable is
+   assigned, as a plain CDCL solver does. *)
+let search s ~assumptions ~budget ~relevant : solve_outcome =
+  let assumptions = Array.of_list assumptions in
+  let n_ass = Array.length assumptions in
   let nof_conflicts = ref 100.0 in
   let restart_count = ref 0 in
   let conflicts_this_restart = ref 0 in
@@ -520,7 +540,7 @@ let search s ~assumptions ~budget : solve_outcome =
         record_learnt s learnt blevel;
         s.var_inc <- s.var_inc *. var_decay;
         s.cla_inc <- s.cla_inc *. cla_decay;
-        if s.num_learnts > 4000 + (List.length s.clauses / 2) then reduce_db s;
+        if s.num_learnts > 4000 + (s.num_problem_clauses / 2) then reduce_db s;
         (match budget with
         | Some b when s.conflicts >= b ->
           cancel_until s 0;
@@ -540,9 +560,8 @@ let search s ~assumptions ~budget : solve_outcome =
   and decide () =
     (* re-establish assumptions first *)
     let dl = decision_level s in
-    let n_ass = List.length assumptions in
     if dl < n_ass then begin
-      let p = List.nth assumptions dl in
+      let p = assumptions.(dl) in
       match value_lit s p with
       | 1 ->
         new_decision_level s;
@@ -557,7 +576,23 @@ let search s ~assumptions ~budget : solve_outcome =
         loop ()
     end
     else begin
-      let v = pick_branch_var s in
+      let v =
+        match relevant with
+        | None -> pick_branch_var s
+        | Some vars ->
+          (* linear max-activity scan: [vars] is one query's cone, small
+             against the accumulated database, and bypassing the heap
+             keeps it consistent for later unrestricted calls *)
+          let best = ref (-1) in
+          Array.iter
+            (fun v ->
+              if
+                s.assigns.(v) < 0
+                && (!best < 0 || s.activity.(v) > s.activity.(!best))
+              then best := v)
+            vars;
+          !best
+      in
       if v < 0 then Sat
       else begin
         s.decisions <- s.decisions + 1;
@@ -572,7 +607,7 @@ let search s ~assumptions ~budget : solve_outcome =
 
 (* Wrapped so every path through [solve] records the per-call deltas the
    engine's per-query telemetry reads back via [last_solve_stats]. *)
-let solve_raw ?(assumptions = []) ?budget s : result =
+let solve_raw ?(assumptions = []) ?budget ?relevant s : result =
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -581,7 +616,10 @@ let solve_raw ?(assumptions = []) ?budget s : result =
       s.ok <- false;
       Unsat
     | None ->
-      let r = search s ~assumptions ~budget in
+      (* make the caller's budget per-call: cap at current + budget *)
+      let budget = Option.map (fun b -> s.conflicts + b) budget in
+      let relevant = Option.map Array.of_list relevant in
+      let r = search s ~assumptions ~budget ~relevant in
       (match r with
       | Sat -> () (* keep trail so the model can be read *)
       | Unsat | Unknown -> cancel_until s 0);
@@ -595,10 +633,10 @@ type solve_stats = {
   wall_s : float;
 }
 
-let solve ?assumptions ?budget (s : t) : result =
+let solve ?assumptions ?budget ?relevant (s : t) : result =
   let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
   let t0 = Obs.Clock.now () in
-  let r = solve_raw ?assumptions ?budget s in
+  let r = solve_raw ?assumptions ?budget ?relevant s in
   s.last_conflicts <- s.conflicts - c0;
   s.last_decisions <- s.decisions - d0;
   s.last_propagations <- s.propagations - p0;

@@ -21,10 +21,26 @@ val add_clause : t -> Lit.t list -> unit
     literals are cleaned.  Safe between incremental [solve] calls (the
     trail is rewound to level 0 first). *)
 
-val solve : ?assumptions:Lit.t list -> ?budget:int -> t -> result
+val solve :
+  ?assumptions:Lit.t list -> ?budget:int -> ?relevant:int list -> t -> result
 (** Solve under the given assumption literals.  [budget] caps the number
-    of total conflicts before giving up with [Unknown].  After [Sat] the
-    model remains readable until the next mutation. *)
+    of conflicts spent by {e this call} before giving up with [Unknown] —
+    lifetime totals do not count against it, so a long-lived incremental
+    solver gets a full budget per query.  After [Sat] the model remains
+    readable until the next mutation.  An [Unknown] or assumption-driven
+    [Unsat] answer leaves the solver reusable; only a contradiction at
+    decision level 0 (the formula itself is unsatisfiable) makes every
+    later call answer [Unsat].
+
+    [relevant] restricts decisions to the given variables and stops with
+    [Sat] (a {e partial} model — other variables keep their phase-saved
+    [model_value]) once all of them are assigned without conflict.  Only
+    sound when any such partial assignment extends to a total model: the
+    caller must know every clause over the remaining variables is
+    independently satisfiable, as {!Session} queries do by pinning
+    inactive clause-group guards false.  Incremental sessions use this to
+    keep per-query work proportional to the query's cone rather than to
+    the accumulated database. *)
 
 val model_value : t -> int -> bool
 (** Value of a variable in the last model (phase-saved default when the

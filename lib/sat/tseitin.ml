@@ -11,6 +11,10 @@ type t = {
   vars : int Bits.Bit_tbl.t;
   true_lit : Lit.t;
   mutable clause_log : Lit.t list list; (* added clauses, reversed *)
+  mutable clause_guard : Lit.t option;
+      (* when set, every added clause also carries this literal — the
+         clause-group mechanism [Session] uses to activate exactly one
+         sub-graph's cells per query via assumptions *)
 }
 
 let create () =
@@ -23,6 +27,7 @@ let create () =
     vars = Bits.Bit_tbl.create 64;
     true_lit;
     clause_log = [ [ true_lit ] ];
+    clause_guard = None;
   }
 
 let lit_of_bit t (b : Bits.bit) : Lit.t =
@@ -40,6 +45,9 @@ let lit_of_bit t (b : Bits.bit) : Lit.t =
 let fresh_lit t = Lit.of_var (Solver.new_var t.solver)
 
 let add t lits =
+  let lits =
+    match t.clause_guard with None -> lits | Some g -> g :: lits
+  in
   t.clause_log <- lits :: t.clause_log;
   Solver.add_clause t.solver lits
 
@@ -233,7 +241,7 @@ let to_dimacs t ~(extra : Lit.t list list) : Dimacs.cnf =
     clauses = List.rev_map conv t.clause_log @ List.map conv extra;
   }
 
-type query_result = Forced of bool | Free | Undetermined
+type query_result = Forced of bool | Free | Contradictory | Undetermined
 
 (* What the last solver call of a query looked like, for capture/replay:
    the polarity asserted on the target and the raw solver verdict. *)
@@ -241,21 +249,35 @@ type solve_info = { last_target_lit : Lit.t; last_result : Solver.result }
 
 (* Is [target] forced to a constant under [assumptions]?  Checks
    SAT(target=0) and SAT(target=1). *)
-let query_forced_info ?budget t ~assumptions ~(target : Bits.bit) :
+let query_forced_info ?budget ?relevant t ~assumptions ~(target : Bits.bit) :
     query_result * solve_info =
   let tl = lit_of_bit t target in
   let can_be_true =
-    Solver.solve ?budget t.solver ~assumptions:(assumptions @ [ tl ])
+    Solver.solve ?budget ?relevant t.solver ~assumptions:(assumptions @ [ tl ])
   in
   match can_be_true with
   | Solver.Unknown ->
     Undetermined, { last_target_lit = tl; last_result = can_be_true }
-  | Solver.Unsat ->
-    Forced false, { last_target_lit = tl; last_result = can_be_true }
+  | Solver.Unsat -> (
+    (* target can't be 1 — but "forced 0" is only sound if the
+       assumptions themselves are satisfiable.  Contradictory path facts
+       make BOTH polarities unsat; report that as its own outcome so the
+       SAT rung agrees with exhaustive simulation on dead paths. *)
+    let ntl = Lit.negate tl in
+    let can_be_false =
+      Solver.solve ?budget ?relevant t.solver
+        ~assumptions:(assumptions @ [ ntl ])
+    in
+    let info = { last_target_lit = ntl; last_result = can_be_false } in
+    match can_be_false with
+    | Solver.Unknown -> Undetermined, info
+    | Solver.Unsat -> Contradictory, info
+    | Solver.Sat -> Forced false, info)
   | Solver.Sat -> (
     let ntl = Lit.negate tl in
     let can_be_false =
-      Solver.solve ?budget t.solver ~assumptions:(assumptions @ [ ntl ])
+      Solver.solve ?budget ?relevant t.solver
+        ~assumptions:(assumptions @ [ ntl ])
     in
     let info = { last_target_lit = ntl; last_result = can_be_false } in
     match can_be_false with
@@ -263,5 +285,5 @@ let query_forced_info ?budget t ~assumptions ~(target : Bits.bit) :
     | Solver.Unsat -> Forced true, info
     | Solver.Sat -> Free, info)
 
-let query_forced ?budget t ~assumptions ~target : query_result =
-  fst (query_forced_info ?budget t ~assumptions ~target)
+let query_forced ?budget ?relevant t ~assumptions ~target : query_result =
+  fst (query_forced_info ?budget ?relevant t ~assumptions ~target)

@@ -76,6 +76,88 @@ let test_dimacs_roundtrip () =
   Alcotest.(check bool) "roundtrip" true
     (cnf.Cdcl.Dimacs.clauses = cnf2.Cdcl.Dimacs.clauses)
 
+(* --- incremental use: the Session access pattern --- *)
+
+(* pigeonhole clauses for [n] pigeons in [n-1] holes, each clause carrying
+   [¬guard] when given — the clause-group encoding Cdcl.Session uses.
+   With the guard assumed the instance is the classic unsat php(n, n-1);
+   with the guard free the whole group can be switched off, so the solver
+   stays reusable after refutation. *)
+let add_php ?guard s n =
+  let holes = n - 1 in
+  let p = Array.init n (fun _ -> Array.init holes (fun _ -> Cdcl.Solver.new_var s)) in
+  let cl lits =
+    match guard with
+    | None -> Cdcl.Solver.add_clause s lits
+    | Some g -> Cdcl.Solver.add_clause s (Cdcl.Lit.negate g :: lits)
+  in
+  for i = 0 to n - 1 do
+    cl (List.init holes (fun h -> lit p.(i).(h) ~neg:false))
+  done;
+  for h = 0 to holes - 1 do
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        cl [ lit p.(i).(h) ~neg:true; lit p.(j).(h) ~neg:true ]
+      done
+    done
+  done
+
+let fresh_guard s = Cdcl.Lit.of_var ~negated:false (Cdcl.Solver.new_var s)
+
+let test_guarded_unsat_reusable () =
+  let s = Cdcl.Solver.create () in
+  let g = fresh_guard s in
+  add_php ~guard:g s 4;
+  Alcotest.(check bool) "guarded php unsat under assumption" true
+    (Cdcl.Solver.solve s ~assumptions:[ g ] = Cdcl.Solver.Unsat);
+  (* the refutation was assumption-driven: guard off, formula is sat *)
+  Alcotest.(check bool) "sat with group off" true
+    (Cdcl.Solver.solve s = Cdcl.Solver.Sat);
+  (* still accepts new clauses and solves them *)
+  let x = Cdcl.Solver.new_var s in
+  Cdcl.Solver.add_clause s [ lit x ~neg:false ];
+  Alcotest.(check bool) "grows after refutation" true
+    (Cdcl.Solver.solve s = Cdcl.Solver.Sat);
+  Alcotest.(check bool) "new unit in model" true (Cdcl.Solver.model_value s x);
+  (* and the refutation is still reproducible *)
+  Alcotest.(check bool) "guard still refutes" true
+    (Cdcl.Solver.solve s ~assumptions:[ g ] = Cdcl.Solver.Unsat)
+
+let test_budget_exhaustion_reusable () =
+  let s = Cdcl.Solver.create () in
+  let g = fresh_guard s in
+  add_php ~guard:g s 6;
+  (* php(6,5) needs far more than 2 conflicts: the capped call gives up *)
+  let r = Cdcl.Solver.solve s ~assumptions:[ g ] ~budget:2 in
+  Alcotest.(check bool) "budget exhausted -> unknown" true
+    (r = Cdcl.Solver.Unknown);
+  (* an Unknown answer must leave the solver fully usable *)
+  Alcotest.(check bool) "usable after unknown" true
+    (Cdcl.Solver.solve s = Cdcl.Solver.Sat);
+  Alcotest.(check bool) "full budget still refutes" true
+    (Cdcl.Solver.solve s ~assumptions:[ g ] = Cdcl.Solver.Unsat)
+
+let test_budget_is_per_call () =
+  (* regression: the budget once compared against the solver's LIFETIME
+     conflict total, so a long-lived incremental solver that had already
+     spent its budget answered Unknown to every later query, however
+     trivial.  Burn well over [b] conflicts refuting a guarded php, then
+     ask an easy budgeted query: it must still be answered. *)
+  let s = Cdcl.Solver.create () in
+  let g = fresh_guard s in
+  add_php ~guard:g s 6;
+  Alcotest.(check bool) "hard query refuted" true
+    (Cdcl.Solver.solve s ~assumptions:[ g ] = Cdcl.Solver.Unsat);
+  let b = 50 in
+  Alcotest.(check bool) "test premise: lifetime conflicts exceed budget" true
+    (Cdcl.Solver.num_conflicts s > b);
+  let g2 = fresh_guard s in
+  let x = Cdcl.Solver.new_var s in
+  Cdcl.Solver.add_clause s [ Cdcl.Lit.negate g2; lit x ~neg:false ];
+  Alcotest.(check bool) "easy budgeted query answered" true
+    (Cdcl.Solver.solve s ~assumptions:[ g2 ] ~budget:b = Cdcl.Solver.Sat);
+  Alcotest.(check bool) "forced by the group" true (Cdcl.Solver.model_value s x)
+
 (* --- brute force reference --- *)
 
 let brute_force_sat ~num_vars clauses =
@@ -109,6 +191,54 @@ let gen_cnf =
 let arb_cnf =
   QCheck.make gen_cnf ~print:(fun (nv, cls) ->
       Cdcl.Dimacs.to_string { Cdcl.Dimacs.num_vars = nv; clauses = cls })
+
+let prop_incremental_equals_scratch =
+  (* interleave add_clause/solve: after every added clause, the
+     incremental solver must agree with a from-scratch solver on the
+     prefix, with and without assumptions, and Sat models must satisfy
+     every clause added so far *)
+  QCheck.Test.make ~count:150 ~name:"incremental solves = from-scratch"
+    arb_cnf (fun (num_vars, clauses) ->
+      let s = Cdcl.Solver.create () in
+      for _ = 1 to num_vars do
+        ignore (Cdcl.Solver.new_var s)
+      done;
+      let assum =
+        [ Cdcl.Lit.of_var ~negated:false 0 ]
+        @ if num_vars > 1 then [ Cdcl.Lit.of_var ~negated:true 1 ] else []
+      in
+      let model_ok prefix =
+        List.for_all
+          (fun clause ->
+            List.exists
+              (fun d ->
+                let value = Cdcl.Solver.model_value s (abs d - 1) in
+                if d > 0 then value else not value)
+              clause)
+          prefix
+      in
+      let rec go prefix_rev = function
+        | [] -> true
+        | c :: rest ->
+          Cdcl.Solver.add_clause s
+            (List.map (fun d -> Cdcl.Lit.of_var ~negated:(d < 0) (abs d - 1)) c);
+          let prefix_rev = c :: prefix_rev in
+          let prefix = List.rev prefix_rev in
+          let scratch extra =
+            Cdcl.Solver.solve
+              (Cdcl.Dimacs.load { Cdcl.Dimacs.num_vars; clauses = prefix @ extra })
+          in
+          let ri = Cdcl.Solver.solve s in
+          if ri <> scratch [] then false
+          else if ri = Cdcl.Solver.Sat && not (model_ok prefix) then false
+          else
+            let ra = Cdcl.Solver.solve s ~assumptions:assum in
+            let units = List.map (fun l -> [ Cdcl.Lit.to_dimacs l ]) assum in
+            if ra <> scratch units then false
+            else if ra = Cdcl.Solver.Sat && not (model_ok prefix) then false
+            else go prefix_rev rest
+      in
+      go [] clauses)
 
 let prop_matches_brute_force =
   QCheck.Test.make ~count:300 ~name:"cdcl agrees with brute force" arb_cnf
@@ -160,7 +290,20 @@ let () =
           Alcotest.test_case "pigeonhole 3/2" `Quick test_pigeonhole_3_2;
           Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
         ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "guarded refutation leaves solver reusable"
+            `Quick test_guarded_unsat_reusable;
+          Alcotest.test_case "budget exhaustion leaves solver reusable"
+            `Quick test_budget_exhaustion_reusable;
+          Alcotest.test_case "budget is per call, not lifetime" `Quick
+            test_budget_is_per_call;
+        ] );
       ( "property",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_matches_brute_force; prop_assumptions_consistent ] );
+          [
+            prop_matches_brute_force;
+            prop_assumptions_consistent;
+            prop_incremental_equals_scratch;
+          ] );
     ]
