@@ -71,9 +71,13 @@ bench-baselines: build
 # The lint step covers every checked-in example plus the two smoke
 # profiles; `lint` exits nonzero on error-severity findings, so a
 # regression that makes an example ill-formed fails the build, and the
-# JSON report must survive the strict parser.  Finally the mux_chain
+# JSON report must survive the strict parser.  The mux_chain
 # optimization is re-run under --check-invariants, which validates,
-# lints and equivalence-checks the circuit after every pass.
+# lints and equivalence-checks the circuit after every pass.  Finally
+# the run-ledger surface: a deliberately budget-starved run (1 ms per
+# pass) must still exit 0 with its netlist equivalence-checking — the
+# watchdog degrades, never crashes — and `smartly report` must render
+# the ledger it left, with the JSON form surviving validate-json.
 ci: build
 	dune runtest
 	dune exec bin/smartly_cli.exe -- lint examples/*.v mux_chain riscv
@@ -96,6 +100,15 @@ ci: build
 	  [ -e "$$f" ] || continue; \
 	  dune exec bin/smartly_cli.exe -- replay "$$f" || exit 1; \
 	done
+	rm -rf /tmp/smartly_runs
+	dune exec bin/smartly_cli.exe -- opt mux_chain --flow smartly \
+	  --ledger-root /tmp/smartly_runs --pass-budget-ms 1 \
+	  --check --check-invariants
+	run=$$(ls -d /tmp/smartly_runs/*/); \
+	dune exec bin/smartly_cli.exe -- report "$$run" && \
+	dune exec bin/smartly_cli.exe -- report "$$run" --json \
+	  > /tmp/smartly_report.json && \
+	dune exec bin/smartly_cli.exe -- validate-json /tmp/smartly_report.json
 
 clean:
 	dune clean

@@ -36,7 +36,13 @@
                            smaRTLy variants; baselines are recorded in this
                            mode so the memo-off CI leg reproduces the
                            deterministic counters exactly, while the
-                           default leg must only ever improve on them *)
+                           default leg must only ever improve on them
+     --no-ledger           don't record this run under .smartly/runs/
+     --ledger-root DIR     where the run ledger lives (default
+                           .smartly/runs)
+     --progress            attach the live TTY progress sink; pass events
+                           stream to stderr, which perturbs the measured
+                           timings — never use under --check *)
 
 open Netlist
 
@@ -53,6 +59,14 @@ let threshold_scale = ref 1.0
 let report_path = ref None
 let pessimize = ref false
 let no_sat_memo = ref false
+let no_ledger = ref false
+let ledger_root = ref Obs.Ledger.default_root
+let progress = ref false
+
+(* the run ledger this bench invocation records into, if any; every
+   section document (and the gate report) is copied under its bench/
+   subdirectory so `smartly report` finds the run *)
+let ledger : Obs.Ledger.t option ref = ref None
 
 (* statistical sections stash their fresh document here; main () compares
    / gates over all of them at once *)
@@ -72,6 +86,15 @@ let emit_doc section (cases : Perf.Schema.case list) =
     let path = Perf.Store.save ~dir doc in
     Printf.printf "wrote %s\n" path
   end;
+  (match !ledger with
+  | Some l ->
+    (try
+       ignore
+         (Perf.Store.save ~dir:(Filename.concat (Obs.Ledger.dir l) "bench")
+            doc)
+     with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+       Printf.eprintf "ledger: cannot write bench report (%s)\n" msg)
+  | None -> ());
   if !update_baselines then begin
     let path = Perf.Store.save ~dir:!baseline_dir doc in
     Printf.printf "baseline: wrote %s\n" path
@@ -137,6 +160,10 @@ type case_result = {
   sat_conflicts : int;
   sat_decisions : int;
   sat_propagations : int;
+  memo_hits : int;
+  memo_misses : int;
+  memo_evictions : int;
+  session_flushes : int;
   (* SAT conflicts-per-query percentiles of the full-flow run *)
   conf_p50 : float;
   conf_p90 : float;
@@ -182,6 +209,10 @@ let run_case ?(variants = `All) (p : Workloads.Profiles.profile) : case_result
   let sat_conflicts = counter "engine.sat_conflicts" in
   let sat_decisions = counter "engine.sat_decisions" in
   let sat_propagations = counter "engine.sat_propagations" in
+  let memo_hits = counter "memo.hits" in
+  let memo_misses = counter "memo.misses" in
+  let memo_evictions = counter "memo.evictions" in
+  let session_flushes = counter "sat_session.flushes" in
   let conf =
     Obs.Metrics.histogram_stats
       (Obs.Metrics.histogram "engine.conflicts_per_query")
@@ -202,6 +233,10 @@ let run_case ?(variants = `All) (p : Workloads.Profiles.profile) : case_result
     sat_conflicts;
     sat_decisions;
     sat_propagations;
+    memo_hits;
+    memo_misses;
+    memo_evictions;
+    session_flushes;
     conf_p50 = conf.Obs.Metrics.p50;
     conf_p90 = conf.Obs.Metrics.p90;
     conf_max = conf.Obs.Metrics.max_v;
@@ -244,6 +279,51 @@ let sat_counter_metrics (r : case_result) =
       scalar ~name:"sat_decisions" ~kind:Count (f r.sat_decisions);
       scalar ~name:"sat_propagations" ~kind:Count (f r.sat_propagations);
     ]
+  (* memo counters only exist when the cache ran: baselines are recorded
+     with --no-sat-memo, so the memo-on gate leg must see these as
+     New_metric (ignored), never as an exact-Count mismatch *)
+  @ (if !no_sat_memo then []
+     else
+       Perf.Schema.
+         [
+           scalar ~direction:Higher_better ~name:"memo_hits" ~kind:Count
+             (f r.memo_hits);
+           scalar ~name:"memo_misses" ~kind:Count (f r.memo_misses);
+         ])
+  (* always committed: memoization can only merge the stale periods the
+     session observes, so the memo-on leg's flush count never exceeds the
+     memo-off baseline's (Lower_better => Improved/Unchanged, never a
+     spurious regression) *)
+  @ [
+      Perf.Schema.scalar ~name:"session_flushes" ~kind:Perf.Schema.Count
+        (f r.session_flushes);
+    ]
+
+(* the per-case cache/session panel of every statistical section *)
+let counters_table results =
+  print_endline "Cross-query memo and SAT-session counters (full flow):";
+  Report.Table.print
+    ~columns:
+      [
+        Report.Table.column ~align:Report.Table.Left "Case";
+        Report.Table.column "queries";
+        Report.Table.column "memo hit";
+        Report.Table.column "memo miss";
+        Report.Table.column "evict";
+        Report.Table.column "flushes";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.name;
+             string_of_int r.sat_queries;
+             string_of_int r.memo_hits;
+             string_of_int r.memo_misses;
+             string_of_int r.memo_evictions;
+             string_of_int r.session_flushes;
+           ])
+         results)
 
 let core_metrics (r : case_result) =
   (Perf.Schema.scalar ~name:"orig_area" ~kind:Perf.Schema.Area (f r.orig)
@@ -392,6 +472,7 @@ let table3 () =
         right "cfl(p50)"; right "cfl(p90)"; right "cfl(max)" ]
     ~rows:(rows @ [ avg_row ]);
   emit_doc "table3" (List.map table3_case results);
+  counters_table results;
   print_endline
     "(paper: SAT 3.57% / Rebuild 4.39% / Full 8.95% on average; which\n\
      method dominates varies per case, Full >= max(SAT, Rebuild))"
@@ -434,6 +515,7 @@ let industrial () =
   in
   let results = List.map (run_case ~variants:`Pair) points in
   pair_table results;
+  counters_table results;
   emit_doc "industrial"
     (List.map
        (fun r ->
@@ -458,6 +540,7 @@ let mux_chain () =
   print_endline "Smoke profile mux_chain (fast; the CI regression gate)";
   let results = [ run_case Workloads.Profiles.mux_chain ] in
   pair_table results;
+  counters_table results;
   emit_doc "mux_chain" (List.map full_case results)
 
 (* --- Figures --- *)
@@ -760,6 +843,7 @@ let usage () =
     \             [--compare | --check] [--update-baselines]\n\
     \             [--baseline-dir DIR] [--threshold-scale X]\n\
     \             [--report FILE] [--pessimize] [--no-sat-memo]\n\
+    \             [--no-ledger] [--ledger-root DIR] [--progress]\n\
      sections: table2 table3 industrial mux_chain figures ablation timing all";
   exit 2
 
@@ -790,6 +874,16 @@ let () =
       parse sections rest
     | "--no-sat-memo" :: rest ->
       no_sat_memo := true;
+      parse sections rest
+    | "--no-ledger" :: rest ->
+      no_ledger := true;
+      parse sections rest
+    | "--progress" :: rest ->
+      progress := true;
+      parse sections rest
+    | "--ledger-root" :: rest ->
+      let v, rest = needs_value "--ledger-root" rest in
+      ledger_root := v;
       parse sections rest
     | "--out" :: rest ->
       let v, rest = needs_value "--out" rest in
@@ -831,6 +925,26 @@ let () =
   in
   if Unix.isatty Unix.stdout && Sys.getenv_opt "NO_COLOR" = None then
     Report.Table.set_color true;
+  if not !no_ledger then begin
+    (try
+       let l =
+         Obs.Ledger.create ~root:!ledger_root ~attach_events:false
+           ~argv:(Array.to_list Sys.argv)
+           ~env:(Perf.Schema.env_to_json (Perf.Schema.fingerprint ~reps:!reps))
+           ()
+       in
+       (* no event sinks during measurement: per-event delivery would
+          perturb the committed Time/Gc figures, so even the flight ring
+          stays detached — a bench ledger is manifest + reports only *)
+       Obs.Ring.detach (Obs.Ledger.ring l);
+       ledger := Some l
+     with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+       Printf.eprintf "ledger: disabled (%s)\n" msg)
+  end;
+  if !progress then
+    (* explicit opt-in: streams pass boundaries live, and therefore
+       perturbs the measured timings — never combined with --check *)
+    ignore (Obs.Event.attach_progress ());
   List.iter
     (fun s ->
       match s with
@@ -851,29 +965,54 @@ let () =
         timing ()
       | other -> Printf.printf "unknown section %s\n" other)
     sections;
+  let finish_ledger status =
+    match !ledger with
+    | Some l ->
+      Obs.Ledger.finish ~status l;
+      Printf.eprintf "ledger: %s\n" (Obs.Ledger.dir l)
+    | None -> ()
+  in
   if !compare_flag || !check_flag then begin
     print_endline "";
-    if !fresh_docs = [] then
+    if !fresh_docs = [] then begin
       print_endline
-        "bench-check: no statistical sections selected (nothing to compare)"
+        "bench-check: no statistical sections selected (nothing to compare)";
+      finish_ledger "ok"
+    end
     else begin
       let outcome =
         Perf.Gate.check ~scale:!threshold_scale ~dir:!baseline_dir !fresh_docs
       in
       print_string (Perf.Gate.render outcome);
-      (match !report_path with
-      | None -> ()
-      | Some path ->
+      let plain_report () =
         (* the artifact must be byte-stable whatever the terminal: render
            it with color forced off *)
         let was = Report.Table.colorize Report.Table.Dim "x" <> "x" in
         Report.Table.set_color false;
         let text = Perf.Gate.render outcome in
         Report.Table.set_color was;
+        text
+      in
+      (match !report_path with
+      | None -> ()
+      | Some path ->
         let oc = open_out path in
-        output_string oc text;
+        output_string oc (plain_report ());
         close_out oc;
         Printf.printf "wrote %s\n" path);
-      if !check_flag && not (Perf.Gate.ok outcome) then exit 1
+      (match !ledger with
+      | Some l ->
+        (try
+           let p = Filename.concat (Obs.Ledger.dir l) "bench_gate.txt" in
+           let oc = open_out p in
+           output_string oc (plain_report ());
+           close_out oc
+         with Sys_error msg ->
+           Printf.eprintf "ledger: cannot write gate report (%s)\n" msg)
+      | None -> ());
+      let ok = Perf.Gate.ok outcome in
+      finish_ledger (if ok then "ok" else "regressed");
+      if !check_flag && not ok then exit 1
     end
   end
+  else finish_ledger "ok"

@@ -138,6 +138,53 @@ let sat_dump_arg =
           "Write the hardest SAT queries of the run as self-contained \
            DIMACS files under DIR; re-run them with $(b,smartly replay).")
 
+let no_ledger_arg =
+  Arg.(
+    value & flag
+    & info [ "no-ledger" ]
+        ~doc:
+          "Do not create a run-ledger directory.  By default every \
+           $(b,opt) run records its manifest, event stream, trace, \
+           provenance, SAT dumps and flight-recorder dump under \
+           $(b,.smartly/runs/<run-id>/), renderable later with \
+           $(b,smartly report).")
+
+let ledger_root_arg =
+  Arg.(
+    value
+    & opt string Obs.Ledger.default_root
+    & info [ "ledger-root" ] ~docv:"DIR"
+        ~doc:"Run-ledger root directory (default $(b,.smartly/runs)).")
+
+let pass_budget_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pass-budget-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-time budget per optimization pass (smartly-family flows). \
+           A pass exceeding it is truncated — remaining SAT queries \
+           forgone, remaining trees skipped — and skipped on later \
+           iterations; the flow still completes and exits 0, with a \
+           $(b,Budget_exceeded) event recorded in the ledger.")
+
+let pass_alloc_budget_mw_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "pass-alloc-budget-mw" ] ~docv:"MWORDS"
+        ~doc:
+          "Allocation budget per pass in millions of words; same graceful \
+           degradation as $(b,--pass-budget-ms).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print a live line per completed pass to stderr (automatic when \
+           stderr is a TTY).")
+
 (* --- commands --- *)
 
 let list_cmd =
@@ -251,7 +298,8 @@ let flow_name = function
   | `Sat -> "sat"
   | `Rebuild -> "rebuild"
 
-let run_flow ?after_pass ?(sat_memo = true) ?(sat_session = true) flow
+let run_flow ?after_pass ?(sat_memo = true) ?(sat_session = true)
+    ?(pass_budget_ms = None) ?(pass_alloc_budget_mw = None) flow
     (c : Netlist.Circuit.t) : outcome =
   match flow with
   | `None -> O_none
@@ -268,6 +316,8 @@ let run_flow ?after_pass ?(sat_memo = true) ?(sat_session = true) flow
         cfg with
         Smartly.Config.enable_sat_memo = sat_memo;
         enable_sat_session = sat_session;
+        pass_budget_ms;
+        pass_alloc_budget_mw;
       }
     in
     O_smartly (Smartly.Driver.smartly ~cfg ?after_pass c)
@@ -344,6 +394,23 @@ let histogram_percentiles_json name : Obs.Json.t =
         "max", Obs.Json.Num st.Obs.Metrics.max_v;
       ]
 
+let counter_value name = Obs.Metrics.value (Obs.Metrics.counter name)
+
+(* The sat-session counters as one JSON object — the [session] section of
+   the --json report and of bench per-case output. *)
+let session_json () : Obs.Json.t =
+  let open Obs.Json in
+  Obj
+    [
+      "flushes", num_of_int (counter_value "sat_session.flushes");
+      "cell_encodes", num_of_int (counter_value "sat_session.cell_encodes");
+      "cell_reuses", num_of_int (counter_value "sat_session.cell_reuses");
+    ]
+
+let overruns_of = function
+  | O_none | O_yosys _ -> []
+  | O_smartly r -> r.Smartly.Driver.overruns
+
 let stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink ~psink :
     Obs.Json.t =
   let open Obs.Json in
@@ -392,6 +459,10 @@ let stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink ~psink :
             "subgraph_dropped", num_of_int e.Smartly.Engine.subgraph_dropped;
           ] );
       "memo", Smartly.Memo.to_json ();
+      "session", session_json ();
+      ( "budget",
+        List
+          (List.map Smartly.Budget.overrun_to_json (overruns_of outcome)) );
       "cells_removed", num_of_int (Obs.Metrics.value m_flow_cells_removed);
       ( "sat_percentiles",
         Obj
@@ -420,9 +491,32 @@ let check_invariants_arg =
            sub-pass; on a violation, name the first pass that broke an \
            invariant and exit non-zero.")
 
+(* The hardest-query refs a flight dump carries: pointers into the
+   ledger's sat/ directory, not the DIMACS text itself. *)
+let flight_extra () =
+  let open Obs.Json in
+  [
+    ( "sat_hardest",
+      List
+        (List.map
+           (fun (e : Smartly.Engine.Sat_log.entry) ->
+             Obj
+               [
+                 "id", num_of_int e.Smartly.Engine.Sat_log.id;
+                 ( "conflicts",
+                   num_of_int e.Smartly.Engine.Sat_log.conflicts );
+                 ( "dimacs",
+                   Str
+                     (Printf.sprintf "sat/query_%04d.cnf"
+                        e.Smartly.Engine.Sat_log.id) );
+               ])
+           (Smartly.Engine.Sat_log.hardest ())) );
+  ]
+
 let opt_cmd =
   let run src style flow check verbose trace json provenance sat_dump
-      check_invariants no_sat_memo sat_session =
+      check_invariants no_sat_memo sat_session no_ledger ledger_root
+      pass_budget_ms pass_alloc_budget_mw progress =
     let c = load_circuit ~style src in
     let orig = Netlist.Circuit.copy c in
     let invariants =
@@ -433,37 +527,107 @@ let opt_cmd =
         (fun t name circuit -> Lint.Invariant.after_pass t name circuit)
         invariants
     in
-    (* spans feed both the --trace file and the per-pass times of the
-       --json report; with neither flag no sink is installed and tracing
-       costs nothing *)
+    Obs.Metrics.reset ();
+    Smartly.Engine.Sat_log.reset ();
+    Smartly.Memo.reset ();
+    Smartly.Budget.reset ();
+    Obs.Event.reset ();
+    (* the run ledger is on by default; a failure to create it (read-only
+       cwd, bad --ledger-root) degrades to an unledgered run, not an
+       error *)
+    let ledger =
+      if no_ledger then None
+      else
+        try
+          let env =
+            Perf.Schema.env_to_json (Perf.Schema.fingerprint ~reps:1)
+          in
+          Some
+            (Obs.Ledger.create ~root:ledger_root
+               ~argv:(Array.to_list Sys.argv) ~env ())
+        with e ->
+          Printf.eprintf "ledger: disabled (%s)\n%!" (Printexc.to_string e);
+          None
+    in
+    if progress || Unix.isatty Unix.stderr then
+      ignore (Obs.Event.attach_progress ());
+    (* an interrupted run still leaves a complete, renderable ledger: the
+       flushed events.jsonl prefix, a flight dump naming the in-flight
+       pass, and a manifest with status "interrupted" *)
+    (match ledger with
+    | Some l ->
+      Sys.set_signal Sys.sigint
+        (Sys.Signal_handle
+           (fun _ ->
+             ignore
+               (Obs.Ledger.dump_flight ~extra:(flight_extra ())
+                  ~reason:"sigint" l);
+             Obs.Ledger.finish ~status:"interrupted" l;
+             exit 130))
+    | None -> ());
+    (* spans feed the --trace file, the per-pass times of the --json
+       report, and the ledger's trace.json; with none of those the sink
+       stays uninstalled and tracing costs nothing *)
     let sink =
-      if trace <> None || json then begin
+      if trace <> None || json || ledger <> None then begin
         let s = Obs.Trace.make_sink () in
         Obs.Trace.install s;
         Some s
       end
       else None
     in
-    (* the provenance sink feeds both the --provenance JSONL file and the
-       provenance_summary section of the --json report *)
+    (* the provenance sink feeds the --provenance JSONL file, the
+       provenance_summary section of --json, and the ledger *)
     let psink =
-      if provenance <> None || json then begin
+      if provenance <> None || json || ledger <> None then begin
         let s = Obs.Provenance.make_sink () in
         Obs.Provenance.install s;
         Some s
       end
       else None
     in
-    Obs.Metrics.reset ();
-    Smartly.Engine.Sat_log.reset ();
-    Smartly.Memo.reset ();
     let area0 = Aiger.Aigmap.aig_area c in
+    Obs.Event.emit ~name:src
+      ~data:
+        (Obs.Json.Obj
+           [
+             "source", Obs.Json.Str src;
+             "flow", Obs.Json.Str (flow_name flow);
+             "area", Obs.Json.num_of_int area0;
+             "cells", Obs.Json.num_of_int (Netlist.Circuit.cell_count c);
+           ])
+      Obs.Event.Run_start;
     let t0 = Obs.Clock.now () in
     let outcome =
-      run_flow ?after_pass ~sat_memo:(not no_sat_memo) ~sat_session flow c
+      try
+        run_flow ?after_pass ~sat_memo:(not no_sat_memo) ~sat_session
+          ~pass_budget_ms ~pass_alloc_budget_mw flow c
+      with e ->
+        (match ledger with
+        | Some l ->
+          ignore
+            (Obs.Ledger.dump_flight ~extra:(flight_extra ())
+               ~reason:("exception: " ^ Printexc.to_string e)
+               l);
+          Obs.Ledger.finish ~status:"crashed" l
+        | None -> ());
+        raise e
     in
     let dt = Obs.Clock.now () -. t0 in
     let area1 = Aiger.Aigmap.aig_area c in
+    let overruns = overruns_of outcome in
+    Obs.Event.emit ~name:src
+      ~data:
+        (Obs.Json.Obj
+           [
+             "area", Obs.Json.num_of_int area1;
+             "iterations", Obs.Json.num_of_int (iterations_of outcome);
+             "wall_seconds", Obs.Json.Num dt;
+             "memo", Smartly.Memo.to_json ();
+             "session", session_json ();
+             "overruns", Obs.Json.num_of_int (List.length overruns);
+           ])
+      Obs.Event.Run_end;
     Obs.Trace.uninstall ();
     Obs.Provenance.uninstall ();
     (* a bad trace path must not lose the run's report: write after the
@@ -515,6 +679,17 @@ let opt_cmd =
             *. float_of_int e.Smartly.Engine.memo_hits
             /. float_of_int consults))
          (Smartly.Memo.size ()));
+    List.iter
+      (fun (o : Smartly.Budget.overrun) ->
+        Fmt.pf human
+          "budget: pass %s exceeded (%.1f ms elapsed%s, %d work items \
+           truncated)@."
+          o.Smartly.Budget.pass o.Smartly.Budget.elapsed_ms
+          (match o.Smartly.Budget.budget_ms with
+          | Some ms -> Printf.sprintf " of %d ms" ms
+          | None -> "")
+          o.Smartly.Budget.truncated)
+      overruns;
     if json then
       print_endline
         (Obs.Json.to_string ~pretty:true
@@ -533,6 +708,54 @@ let opt_cmd =
       | Some f ->
         invariant_failed := true;
         Fmt.pf human "invariants: @[<v>%a@]@." Lint.Invariant.pp_failure f));
+    (* everything the run produced also lands in the ledger, so [smartly
+       report] works without having asked for any artifact flag *)
+    (match ledger with
+    | None -> ()
+    | Some l ->
+      (try
+         (match sink with
+         | Some s ->
+           Obs.Trace.write_chrome_json ~path:(Obs.Ledger.path l "trace.json") s
+         | None -> ());
+         (match psink with
+         | Some s ->
+           Obs.Provenance.write_jsonl
+             ~path:(Obs.Ledger.path l "provenance.jsonl")
+             s
+         | None -> ());
+         let oc = open_out (Obs.Ledger.path l "stats.json") in
+         output_string oc
+           (Obs.Json.to_string ~pretty:true
+              (stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink
+                 ~psink));
+         output_char oc '\n';
+         close_out oc;
+         if Smartly.Engine.Sat_log.query_count () > 0 then begin
+           let dir = Obs.Ledger.path l "sat" in
+           if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+           ignore (Smartly.Engine.Sat_log.dump ~dir)
+         end
+       with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+         Printf.eprintf "ledger: cannot write artifact: %s\n%!" msg);
+      if overruns <> [] then
+        ignore
+          (Obs.Ledger.dump_flight ~extra:(flight_extra ()) ~reason:"budget" l);
+      let status = if !invariant_failed then "invariant-failed" else "ok" in
+      Obs.Ledger.finish ~status
+        ~extra:
+          [
+            "source", Obs.Json.Str src;
+            "flow", Obs.Json.Str (flow_name flow);
+            "area_before", Obs.Json.num_of_int area0;
+            "area_after", Obs.Json.num_of_int area1;
+            "wall_seconds", Obs.Json.Num dt;
+            ( "budget_overruns",
+              Obs.Json.List
+                (List.map Smartly.Budget.overrun_to_json overruns) );
+          ]
+        l;
+      Printf.eprintf "ledger: %s\n%!" (Obs.Ledger.dir l));
     (match !trace_error with
     | None -> ()
     | Some msg -> Printf.eprintf "trace: cannot write: %s\n%!" msg);
@@ -543,7 +766,9 @@ let opt_cmd =
     Term.(
       const run $ src_arg $ style_arg $ flow_arg $ check_arg $ verbose_arg
       $ trace_arg $ json_arg $ provenance_arg $ sat_dump_arg
-      $ check_invariants_arg $ no_sat_memo_arg $ sat_session_arg)
+      $ check_invariants_arg $ no_sat_memo_arg $ sat_session_arg
+      $ no_ledger_arg $ ledger_root_arg $ pass_budget_ms_arg
+      $ pass_alloc_budget_mw_arg $ progress_arg)
 
 let write_verilog_cmd =
   let out_arg =
@@ -989,6 +1214,314 @@ let bench_diff_cmd =
       const run $ baseline_arg $ current_arg $ check_arg $ all_arg $ scale_arg
       $ json_arg)
 
+(* --- smartly report: render a run ledger, written by a process that may
+   no longer exist (or may have died mid-pass).  Everything is read
+   tolerantly: a missing file is an absent section, a torn events.jsonl
+   tail is recovered around and reported by byte offset. *)
+
+let report_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"RUN"
+          ~doc:"Run id (looked up under --ledger-root) or run directory.")
+  in
+  let run target root json =
+    let dir =
+      if Sys.file_exists target && Sys.is_directory target then target
+      else begin
+        let d = Filename.concat root target in
+        if Sys.file_exists d && Sys.is_directory d then d
+        else begin
+          Printf.eprintf "report: no run directory %s (nor %s)\n" target d;
+          exit 2
+        end
+      end
+    in
+    let read_opt name =
+      let p = Filename.concat dir name in
+      if Sys.file_exists p then Some (read_file p) else None
+    in
+    let manifest =
+      Option.bind (read_opt "manifest.json") (fun text ->
+          match Obs.Json.parse text with Ok j -> Some j | Error _ -> None)
+    in
+    let events, torn =
+      match read_opt "events.jsonl" with
+      | Some text -> Obs.Event.parse_jsonl_partial text
+      | None -> [], None
+    in
+    (* ordering invariant of the stream — a report over a damaged ledger
+       should say so rather than render garbage *)
+    let ordered =
+      let rec ok = function
+        | (a : Obs.Event.t) :: (b : Obs.Event.t) :: rest ->
+          a.Obs.Event.seq < b.Obs.Event.seq
+          && Int64.compare a.Obs.Event.t_ns b.Obs.Event.t_ns <= 0
+          && ok (b :: rest)
+        | _ -> true
+      in
+      ok events
+    in
+    let find_kind k =
+      List.find_opt (fun (e : Obs.Event.t) -> e.Obs.Event.kind = k) events
+    in
+    let run_start = find_kind Obs.Event.Run_start in
+    let run_end = find_kind Obs.Event.Run_end in
+    let budget_events =
+      List.filter
+        (fun (e : Obs.Event.t) -> e.Obs.Event.kind = Obs.Event.Budget_exceeded)
+        events
+    in
+    let sat_queries =
+      List.length
+        (List.filter
+           (fun (e : Obs.Event.t) -> e.Obs.Event.kind = Obs.Event.Sat_query)
+           events)
+    in
+    (* per-pass aggregation from Pass_end events, in first-seen order *)
+    let pass_order = ref [] in
+    let pass_tbl : (string, int * float * int option) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    List.iter
+      (fun (e : Obs.Event.t) ->
+        if e.Obs.Event.kind = Obs.Event.Pass_end then begin
+          let name = e.Obs.Event.name in
+          if not (Hashtbl.mem pass_tbl name) then
+            pass_order := name :: !pass_order;
+          let calls, secs, _ =
+            Option.value
+              (Hashtbl.find_opt pass_tbl name)
+              ~default:(0, 0.0, None)
+          in
+          let s =
+            Option.value
+              (Obs.Json.mem_num "seconds" e.Obs.Event.data)
+              ~default:0.0
+          in
+          Hashtbl.replace pass_tbl name
+            (calls + 1, secs +. s, Obs.Json.mem_int "cells" e.Obs.Event.data)
+        end)
+      events;
+    let passes =
+      List.rev_map
+        (fun name ->
+          let calls, secs, cells = Hashtbl.find pass_tbl name in
+          name, calls, secs, cells)
+        !pass_order
+    in
+    let prov_events, prov_torn =
+      match read_opt "provenance.jsonl" with
+      | Some text ->
+        let evs, t = Obs.Provenance.parse_jsonl_partial text in
+        Some evs, t
+      | None -> None, None
+    in
+    let flight =
+      Option.bind (read_opt "flightrec.json") (fun text ->
+          match Obs.Json.parse text with Ok j -> Some j | Error _ -> None)
+    in
+    let area_before =
+      match Option.bind manifest (Obs.Json.mem_int "area_before") with
+      | Some a -> Some a
+      | None ->
+        Option.bind run_start (fun (e : Obs.Event.t) ->
+            Obs.Json.mem_int "area" e.Obs.Event.data)
+    in
+    let area_after =
+      match Option.bind manifest (Obs.Json.mem_int "area_after") with
+      | Some a -> Some a
+      | None ->
+        Option.bind run_end (fun (e : Obs.Event.t) ->
+            Obs.Json.mem_int "area" e.Obs.Event.data)
+    in
+    let memo =
+      Option.bind run_end (fun (e : Obs.Event.t) ->
+          Obs.Json.member "memo" e.Obs.Event.data)
+    in
+    let session =
+      Option.bind run_end (fun (e : Obs.Event.t) ->
+          Obs.Json.member "session" e.Obs.Event.data)
+    in
+    let status =
+      Option.value
+        (Option.bind manifest (Obs.Json.mem_str "status"))
+        ~default:"unknown"
+    in
+    if json then begin
+      let open Obs.Json in
+      let opt_int = function Some i -> num_of_int i | None -> Null in
+      print_endline
+        (to_string ~pretty:true
+           (Obj
+              [
+                "schema", Str "smartly-report-v1";
+                "dir", Str dir;
+                "status", Str status;
+                "manifest", Option.value manifest ~default:Null;
+                ( "events",
+                  Obj
+                    [
+                      "count", num_of_int (List.length events);
+                      "ordered", Bool ordered;
+                      "torn_at", opt_int torn;
+                    ] );
+                ( "passes",
+                  List
+                    (List.map
+                       (fun (name, calls, secs, cells) ->
+                         Obj
+                           [
+                             "name", Str name;
+                             "calls", num_of_int calls;
+                             "seconds", Num secs;
+                             "cells", opt_int cells;
+                           ])
+                       passes) );
+                ( "area",
+                  Obj
+                    [ "before", opt_int area_before;
+                      "after", opt_int area_after ] );
+                "sat_queries", num_of_int sat_queries;
+                "memo", Option.value memo ~default:Null;
+                "session", Option.value session ~default:Null;
+                ( "budget",
+                  List
+                    (List.map
+                       (fun (e : Obs.Event.t) -> e.Obs.Event.data)
+                       budget_events) );
+                "flight", Option.value flight ~default:Null;
+                ( "provenance_summary",
+                  match prov_events with
+                  | Some evs -> Obs.Provenance.summary_json evs
+                  | None -> Null );
+                "provenance_torn_at", opt_int prov_torn;
+              ]))
+    end
+    else begin
+      Printf.printf "run %s\n"
+        (Option.value
+           (Option.bind manifest (Obs.Json.mem_str "run_id"))
+           ~default:(Filename.basename dir));
+      Printf.printf "  dir:    %s\n" dir;
+      Printf.printf "  status: %s%s\n" status
+        (if status = "running" then " (writer gone? ledger never finished)"
+         else "");
+      (match Option.bind manifest (Obs.Json.mem_list "argv") with
+      | Some argv ->
+        Printf.printf "  argv:   %s\n"
+          (String.concat " " (List.filter_map Obs.Json.to_str argv))
+      | None -> ());
+      (match Option.bind manifest (Obs.Json.member "env") with
+      | Some env ->
+        Printf.printf "  env:    host=%s ocaml=%s git=%s\n"
+          (Option.value (Obs.Json.mem_str "hostname" env) ~default:"?")
+          (Option.value (Obs.Json.mem_str "ocaml_version" env) ~default:"?")
+          (Option.value (Obs.Json.mem_str "git_rev" env) ~default:"?")
+      | None -> ());
+      Printf.printf "  events: %d%s%s\n" (List.length events)
+        (if ordered then "" else "  [ORDERING VIOLATED]")
+        (match torn with
+        | Some off -> Printf.sprintf "  (torn tail at byte %d)" off
+        | None -> "");
+      (match area_before, area_after with
+      | Some a0, Some a1 ->
+        let red =
+          if a0 = 0 then 0.0
+          else 100.0 *. (1.0 -. (float_of_int a1 /. float_of_int a0))
+        in
+        Printf.printf "  area:   %d -> %d (%s)\n" a0 a1 (Report.Table.pct red)
+      | _ -> ());
+      if passes <> [] then begin
+        let columns =
+          Report.Table.
+            [
+              column "pass";
+              column ~align:Right "calls";
+              column ~align:Right "seconds";
+              column ~align:Right "cells";
+            ]
+        in
+        let rows =
+          List.map
+            (fun (name, calls, secs, cells) ->
+              [
+                name;
+                Report.Table.int_ calls;
+                Report.Table.secs secs;
+                (match cells with
+                | Some c -> Report.Table.int_ c
+                | None -> "-");
+              ])
+            passes
+        in
+        Report.Table.print ~columns ~rows
+      end;
+      if sat_queries > 0 then
+        Printf.printf "  sat queries: %d\n" sat_queries;
+      (match memo with
+      | Some m ->
+        Printf.printf "  memo:   hits=%d misses=%d evictions=%d\n"
+          (Option.value (Obs.Json.mem_int "hits" m) ~default:0)
+          (Option.value (Obs.Json.mem_int "misses" m) ~default:0)
+          (Option.value (Obs.Json.mem_int "evictions" m) ~default:0)
+      | None -> ());
+      (match session with
+      | Some s ->
+        Printf.printf "  session: flushes=%d encodes=%d reuses=%d\n"
+          (Option.value (Obs.Json.mem_int "flushes" s) ~default:0)
+          (Option.value (Obs.Json.mem_int "cell_encodes" s) ~default:0)
+          (Option.value (Obs.Json.mem_int "cell_reuses" s) ~default:0)
+      | None -> ());
+      (match budget_events with
+      | [] -> Printf.printf "  budget: no overruns\n"
+      | evs ->
+        List.iter
+          (fun (e : Obs.Event.t) ->
+            let d = e.Obs.Event.data in
+            Printf.printf
+              "  budget: pass %s exceeded (%.1f ms elapsed%s, %d truncated)\n"
+              e.Obs.Event.name
+              (Option.value (Obs.Json.mem_num "elapsed_ms" d) ~default:0.0)
+              (match Obs.Json.mem_int "budget_ms" d with
+              | Some ms -> Printf.sprintf " of %d ms" ms
+              | None -> "")
+              (Option.value (Obs.Json.mem_int "truncated" d) ~default:0))
+          evs);
+      (match flight with
+      | Some f ->
+        Printf.printf
+          "  flight recorder: reason=%s, in-flight pass=%s, %d of %d events \
+           retained\n"
+          (Option.value (Obs.Json.mem_str "reason" f) ~default:"?")
+          (Option.value (Obs.Json.mem_str "current_pass" f) ~default:"none")
+          (Option.value (Obs.Json.mem_int "retained" f) ~default:0)
+          (Option.value (Obs.Json.mem_int "seen" f) ~default:0)
+      | None -> ());
+      (match prov_events with
+      | Some evs ->
+        let s = Obs.Provenance.summary_json evs in
+        Printf.printf "  provenance: %d events, %d cells removed%s\n"
+          (Option.value (Obs.Json.mem_int "events" s) ~default:0)
+          (Option.value (Obs.Json.mem_int "cells_removed" s) ~default:0)
+          (match prov_torn with
+          | Some off -> Printf.sprintf "  (torn tail at byte %d)" off
+          | None -> "")
+      | None -> ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a human (or, with --json, machine-readable) summary of a \
+          run ledger: passes, timings, area trajectory, memo/session \
+          counters, budget verdicts, flight-recorder dump.  Works from the \
+          ledger files alone — including ledgers of runs that died \
+          mid-pass, whose torn event stream is recovered and reported.")
+    Term.(const run $ target_arg $ ledger_root_arg $ json_arg)
+
 let main_cmd =
   let doc = "smaRTLy: RTL muxtree optimization (DAC'25 reproduction)" in
   Cmd.group
@@ -996,7 +1529,7 @@ let main_cmd =
     [
       list_cmd; generate_cmd; stats_cmd; opt_cmd; cec_cmd; dump_cmd;
       write_verilog_cmd; explain_cmd; replay_cmd; validate_json_cmd; lint_cmd;
-      bench_diff_cmd;
+      bench_diff_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

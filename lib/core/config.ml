@@ -25,6 +25,13 @@ type t = {
       (* enforce the paper's SingleCtrl condition; [false] additionally
          rebuilds chains over several independent condition signals (an
          extension of this implementation) *)
+  pass_budget_ms : int option;
+      (* wall-time budget per driver pass; exceeding it truncates the
+         pass (remaining queries forgone, remaining trees skipped) and
+         skips it on later iterations — never an error *)
+  pass_alloc_budget_mw : float option;
+      (* allocation budget per pass, in millions of words (minor
+         allocation pointer delta); same graceful degradation *)
 }
 
 let default =
@@ -41,6 +48,8 @@ let default =
     enable_sat_memo = true;
     enable_rebuild = true;
     rebuild_single_ctrl = true;
+    pass_budget_ms = None;
+    pass_alloc_budget_mw = None;
   }
 
 let sat_only = { default with enable_rebuild = false }

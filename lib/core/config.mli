@@ -22,6 +22,12 @@ type t = {
   rebuild_single_ctrl : bool;
       (** enforce the paper's SingleCtrl condition; [false] extends the
           rebuild to chains over several independent condition signals *)
+  pass_budget_ms : int option;
+      (** wall-time budget per driver pass ({!Budget}); exceeding it
+          truncates the pass and skips it on later iterations — the flow
+          still completes, with partial optimization *)
+  pass_alloc_budget_mw : float option;
+      (** allocation budget per pass, in millions of words *)
 }
 
 val default : t

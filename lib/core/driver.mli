@@ -11,6 +11,10 @@ type result = {
   iterations : int;
   sat_reports : Sat_elim.report list;
   rebuild_reports : Restructure.report list;
+  overruns : Budget.overrun list;
+      (** passes that exceeded a {!Config} budget (each is also a
+          [Budget_exceeded] event on the bus); the flow still completed,
+          with those passes truncated and skipped thereafter *)
 }
 
 val yosys :
@@ -26,7 +30,13 @@ val smartly :
     measured convergence is 2-4).  [after_pass] runs after each sub-pass
     (["opt_expr"], ["opt_merge"], ["sat_elim"], ["restructure"],
     ["opt_clean"]) with the circuit as that pass left it; the lint
-    subsystem's invariant checker hooks in here. *)
+    subsystem's invariant checker hooks in here.
+
+    Each sub-pass is bracketed by [Pass_start]/[Pass_end] events on
+    {!Obs.Event} and armed with the {!Config} budgets through
+    {!Budget}: a pass that exceeds its budget is truncated (its inner
+    loops poll the watchdog), reported via [Budget_exceeded], and
+    skipped on subsequent iterations. *)
 
 val optimize_and_measure :
   [ `None | `Yosys | `Smartly of Config.t ] -> Circuit.t -> int

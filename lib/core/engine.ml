@@ -361,6 +361,19 @@ let query_sat_how ?stats ?session (circuit : Circuit.t) (view : Subgraph.view)
   Sat_log.record ~id:qid ~verdict:(verdict_query_name r)
     ~solve:info.Cdcl.Tseitin.last_result ~mode ~conflicts ~decisions
     ~propagations ~wall_s ~vars ~clauses ~dimacs;
+  if Obs.Event.enabled () then
+    Obs.Event.emit
+      ~name:(Printf.sprintf "q%d" qid)
+      ~data:
+        (Obs.Json.Obj
+           [
+             "id", Obs.Json.num_of_int qid;
+             "verdict", Obs.Json.Str (verdict_query_name r);
+             "mode", Obs.Json.Str mode;
+             "conflicts", Obs.Json.num_of_int conflicts;
+             "wall_us", Obs.Json.Num (wall_s *. 1e6);
+           ])
+      Obs.Event.Sat_query;
   ( (match r with
     | Cdcl.Tseitin.Forced v -> Forced v
     | Cdcl.Tseitin.Free -> Free
@@ -382,6 +395,14 @@ let determine_how ?session (cfg : Config.t) (stats : stats)
     ~(target : Bits.bit) : verdict * source =
   match Inference.read known target with
   | Some v -> (Forced v, Via_lookup) (* identical-signal case, free *)
+  | None when Budget.exhausted () ->
+    (* The pass blew its resource budget: forgo the query instead of
+       building the sub-graph.  Sound — Unknown just means "leave the
+       mux alone" — so the flow degrades to partial optimization. *)
+    Budget.note_truncation ();
+    stats.forgone <- stats.forgone + 1;
+    Obs.Metrics.incr m_forgone;
+    (Unknown, Via_forgone)
   | None ->
     let sg = Subgraph.create circuit index in
     let k = cfg.Config.distance_k in

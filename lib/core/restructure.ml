@@ -322,6 +322,10 @@ let run_once ?(min_saving = 1) ?(single_ctrl = true) (c : Circuit.t) : report =
   in
   List.iter
     (fun root ->
+      if Budget.exhausted () then
+        (* pass budget blown: leave the remaining trees as they are *)
+        Budget.note_truncation ()
+      else
       let deps = get_deps () in
       match Muxtree.flatten_root ~single_ctrl deps root with
       | None -> ()

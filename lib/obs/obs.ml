@@ -298,6 +298,254 @@ module Json = struct
   let mem_int key j = Option.bind (member key j) to_int
   let mem_str key j = Option.bind (member key j) to_str
   let mem_list key j = Option.bind (member key j) to_list
+
+  (* JSONL recovery parser.  A killed process leaves the last line torn
+     mid-record; every reader of a flight-recorder ledger wants "all the
+     complete leading records, plus where the damage starts" instead of a
+     hard error.  A malformed line in the *middle* of the file also stops
+     the scan — resyncing past corruption would silently reorder the
+     stream, and the byte offset lets the caller report it precisely. *)
+  let parse_jsonl_partial text : (t * int) list * int option =
+    let n = String.length text in
+    let rec go acc off =
+      if off >= n then List.rev acc, None
+      else begin
+        let nl =
+          match String.index_from_opt text off '\n' with
+          | Some i -> i
+          | None -> n
+        in
+        let line = String.sub text off (nl - off) in
+        if String.trim line = "" then go acc (nl + 1)
+        else
+          match parse line with
+          | Ok v -> go ((v, off) :: acc) (nl + 1)
+          | Error _ -> List.rev acc, Some off
+      end
+    in
+    go [] 0
+end
+
+(* The unified event bus.  One ordered, monotonically-timestamped stream
+   of everything a run does — span boundaries, pass boundaries, SAT
+   queries, provenance mutations, budget verdicts — fanned out to
+   pluggable subscriber sinks (a JSONL file, the flight-recorder ring, a
+   TTY progress line).  Same fast-path discipline as [Trace]: with no
+   subscriber, [emit] is one list check (plus constant-time pass-stack
+   upkeep so [current_pass] stays truthful for flight dumps). *)
+module Event = struct
+  type kind =
+    | Run_start
+    | Run_end
+    | Pass_start
+    | Pass_end
+    | Span_open
+    | Span_close
+    | Metric
+    | Provenance
+    | Sat_query
+    | Budget_exceeded
+    | Note
+
+  type t = {
+    seq : int;
+    t_ns : int64;
+    kind : kind;
+    name : string;
+    data : Json.t;
+  }
+
+  let kind_name = function
+    | Run_start -> "run_start"
+    | Run_end -> "run_end"
+    | Pass_start -> "pass_start"
+    | Pass_end -> "pass_end"
+    | Span_open -> "span_open"
+    | Span_close -> "span_close"
+    | Metric -> "metric"
+    | Provenance -> "provenance"
+    | Sat_query -> "sat_query"
+    | Budget_exceeded -> "budget_exceeded"
+    | Note -> "note"
+
+  let kind_of_name = function
+    | "run_start" -> Some Run_start
+    | "run_end" -> Some Run_end
+    | "pass_start" -> Some Pass_start
+    | "pass_end" -> Some Pass_end
+    | "span_open" -> Some Span_open
+    | "span_close" -> Some Span_close
+    | "metric" -> Some Metric
+    | "provenance" -> Some Provenance
+    | "sat_query" -> Some Sat_query
+    | "budget_exceeded" -> Some Budget_exceeded
+    | "note" -> Some Note
+    | _ -> None
+
+  type subscription = {
+    sid : int;
+    sname : string;
+    fn : t -> unit;
+    mutable failure : string option;
+    mutable on_close : unit -> unit;
+  }
+
+  let subscribers : subscription list ref = ref []
+  let next_sid = ref 0
+  let next_seq = ref 0
+  let last_ns = ref 0L
+  let pass_stack : string list ref = ref []
+  let emitted_total = ref 0
+
+  let enabled () = !subscribers <> []
+
+  let subscribe ?(name = "sink") fn =
+    incr next_sid;
+    let s =
+      { sid = !next_sid; sname = name; fn; failure = None;
+        on_close = (fun () -> ()) }
+    in
+    subscribers := !subscribers @ [ s ];
+    s
+
+  let unsubscribe s =
+    subscribers := List.filter (fun x -> x.sid <> s.sid) !subscribers;
+    let close = s.on_close in
+    s.on_close <- (fun () -> ());
+    (try close () with _ -> ())
+
+  let subscriber_count () = List.length !subscribers
+
+  let failed_sinks () =
+    List.filter_map
+      (fun s -> Option.map (fun e -> s.sname, e) s.failure)
+      !subscribers
+
+  (* A sink that raises is marked dead and skipped from then on; the
+     other subscribers keep receiving every event.  One bad consumer
+     (full disk, closed pipe) must never cost the flight recorder its
+     tail. *)
+  let deliver e =
+    List.iter
+      (fun s ->
+        if s.failure = None then
+          try s.fn e
+          with exn -> s.failure <- Some (Printexc.to_string exn))
+      !subscribers
+
+  let emit ?(name = "") ?(data = Json.Null) kind =
+    (match kind with
+    | Pass_start -> pass_stack := name :: !pass_stack
+    | Pass_end -> (
+      match !pass_stack with [] -> () | _ :: r -> pass_stack := r)
+    | _ -> ());
+    if !subscribers <> [] then begin
+      (* Clamp to the last stamp: the clock is monotonic already, but the
+         stream's non-decreasing invariant must hold by construction, not
+         by trusting the platform. *)
+      let t = Clock.now_ns () in
+      let t = if Int64.compare t !last_ns < 0 then !last_ns else t in
+      last_ns := t;
+      let e = { seq = !next_seq; t_ns = t; kind; name; data } in
+      incr next_seq;
+      incr emitted_total;
+      deliver e
+    end
+
+  let current_pass () =
+    match !pass_stack with [] -> None | p :: _ -> Some p
+
+  let emitted () = !emitted_total
+
+  let reset () =
+    List.iter
+      (fun s ->
+        let close = s.on_close in
+        s.on_close <- (fun () -> ());
+        try close () with _ -> ())
+      !subscribers;
+    subscribers := [];
+    next_seq := 0;
+    last_ns := 0L;
+    pass_stack := [];
+    emitted_total := 0
+
+  let to_json e : Json.t =
+    Json.Obj
+      ([
+         "seq", Json.num_of_int e.seq;
+         "t_ns", Json.Num (Int64.to_float e.t_ns);
+         "kind", Json.Str (kind_name e.kind);
+       ]
+      @ (if e.name = "" then [] else [ "name", Json.Str e.name ])
+      @ match e.data with Json.Null -> [] | d -> [ "data", d ])
+
+  let of_json (j : Json.t) : (t, string) result =
+    match Json.mem_int "seq" j, Json.mem_num "t_ns" j, Json.mem_str "kind" j with
+    | Some seq, Some t, Some kn -> (
+      match kind_of_name kn with
+      | Some kind ->
+        Ok
+          {
+            seq;
+            t_ns = Int64.of_float t;
+            kind;
+            name = Option.value (Json.mem_str "name" j) ~default:"";
+            data = Option.value (Json.member "data" j) ~default:Json.Null;
+          }
+      | None -> Error (Printf.sprintf "unknown event kind %S" kn))
+    | _ -> Error "event missing seq/t_ns/kind"
+
+  let parse_jsonl_partial text : t list * int option =
+    let vals, torn = Json.parse_jsonl_partial text in
+    let rec go acc = function
+      | [] -> List.rev acc, torn
+      | (j, off) :: rest -> (
+        match of_json j with
+        | Ok e -> go (e :: acc) rest
+        | Error _ -> List.rev acc, Some off)
+    in
+    go [] vals
+
+  (* Durable sink: one compact JSON object per line, flushed per event so
+     a SIGKILL loses at most the torn tail that [parse_jsonl_partial]
+     recovers around. *)
+  let attach_jsonl ~path =
+    let oc = open_out path in
+    let s =
+      subscribe ~name:("jsonl:" ^ path) (fun e ->
+          output_string oc (Json.to_string (to_json e));
+          output_char oc '\n';
+          flush oc)
+    in
+    s.on_close <- (fun () -> try close_out oc with _ -> ());
+    s
+
+  (* Live progress: one line per completed pass plus budget verdicts.
+     Intentionally terse — it shares stderr with the human summary. *)
+  let attach_progress ?(out = stderr) () =
+    subscribe ~name:"progress" (fun e ->
+        match e.kind with
+        | Pass_end ->
+          let secs =
+            Option.value (Json.mem_num "seconds" e.data) ~default:0.0
+          in
+          let iter =
+            match Json.mem_int "iteration" e.data with
+            | Some i -> Printf.sprintf "iter %d" i
+            | None -> "-"
+          in
+          let cells =
+            match Json.mem_int "cells" e.data with
+            | Some c -> Printf.sprintf "  cells=%d" c
+            | None -> ""
+          in
+          Printf.fprintf out "  [%s] %-12s %7.3fs%s\n%!" iter e.name secs
+            cells
+        | Budget_exceeded ->
+          Printf.fprintf out "  [budget] %s exceeded: %s\n%!" e.name
+            (Json.to_string e.data)
+        | _ -> ())
 end
 
 module Trace = struct
@@ -333,18 +581,27 @@ module Trace = struct
     s.count <- s.count + 1
 
   let with_span name f =
-    match !current with
-    | None -> f ()
-    | Some s ->
+    (* Fast path unchanged: no sink, no bus subscriber — direct call. *)
+    match !current, Event.enabled () with
+    | None, false -> f ()
+    | sink, bus ->
+      if bus then Event.emit ~name Event.Span_open;
       let t0 = Clock.now () in
-      s.depth <- s.depth + 1;
+      (match sink with Some s -> s.depth <- s.depth + 1 | None -> ());
+      let finish () =
+        (match sink with Some s -> record s name t0 | None -> ());
+        if bus then
+          Event.emit ~name
+            ~data:(Json.Obj [ "seconds", Json.Num (Clock.now () -. t0) ])
+            Event.Span_close
+      in
       let result =
         try f ()
         with e ->
-          record s name t0;
+          finish ();
           raise e
       in
-      record s name t0;
+      finish ();
       result
 
   let events s =
@@ -613,14 +870,21 @@ module Provenance = struct
   let uninstall () = current := None
   let enabled () = !current <> None
 
+  (* Forward declared: the bus payload needs [event_to_json], defined
+     below with the rest of the serialization. *)
+  let to_bus : (event -> unit) ref = ref (fun _ -> ())
+
   let emit ~kind ~cell ~pass ~mechanism ?query ?(bits = 0) ?(area_delta = 0)
       () =
-    match !current with
-    | None -> ()
-    | Some s ->
-      s.recorded <-
-        { kind; cell; pass; mechanism; query; bits; area_delta } :: s.recorded;
-      s.count <- s.count + 1
+    if !current <> None || Event.enabled () then begin
+      let ev = { kind; cell; pass; mechanism; query; bits; area_delta } in
+      (match !current with
+      | Some s ->
+        s.recorded <- ev :: s.recorded;
+        s.count <- s.count + 1
+      | None -> ());
+      if Event.enabled () then !to_bus ev
+    end
 
   let events s = List.rev s.recorded
   let count s = s.count
@@ -723,6 +987,12 @@ module Provenance = struct
     output_string oc (to_jsonl_string s);
     close_out oc
 
+  let () =
+    to_bus :=
+      fun ev ->
+        Event.emit ~name:(kind_name ev.kind) ~data:(event_to_json ev)
+          Event.Provenance
+
   let parse_jsonl text : (event list, string) result =
     let lines =
       String.split_on_char '\n' text
@@ -739,6 +1009,20 @@ module Provenance = struct
           | Ok ev -> go (ev :: acc) (lineno + 1) rest))
     in
     go [] 1 lines
+
+  (* Tolerant variant for flight-recorder ledgers: a killed writer tears
+     the final line mid-record.  Recover every complete leading record and
+     report the byte offset where the damage starts. *)
+  let parse_jsonl_partial text : event list * int option =
+    let vals, torn = Json.parse_jsonl_partial text in
+    let rec go acc = function
+      | [] -> List.rev acc, torn
+      | (j, off) :: rest -> (
+        match event_of_json j with
+        | Ok ev -> go (ev :: acc) rest
+        | Error _ -> List.rev acc, Some off)
+    in
+    go [] vals
 
   (* --- area attribution --- *)
 
@@ -815,4 +1099,177 @@ module Provenance = struct
         "area_saved", Json.num_of_int (total (fun a -> a.area_saved));
         "by_mechanism", Json.List (List.map attribution_to_json rows);
       ]
+end
+
+(* Flight recorder: a fixed-capacity wrap buffer subscribed to the event
+   bus.  Always on for ledgered runs — its cost is one array store per
+   event — so when a run dies the last N events are dumpable without
+   having planned for the failure. *)
+module Ring = struct
+  type t = {
+    capacity : int;
+    buf : Event.t option array;
+    mutable seen : int;
+    mutable sub : Event.subscription option;
+  }
+
+  let create ?(capacity = 256) () =
+    let capacity = max 1 capacity in
+    { capacity; buf = Array.make capacity None; seen = 0; sub = None }
+
+  let push t e =
+    t.buf.(t.seen mod t.capacity) <- Some e;
+    t.seen <- t.seen + 1
+
+  let attach t =
+    let s = Event.subscribe ~name:"flight-ring" (fun e -> push t e) in
+    t.sub <- Some s;
+    s
+
+  let detach t =
+    match t.sub with
+    | Some s ->
+      t.sub <- None;
+      Event.unsubscribe s
+    | None -> ()
+
+  let capacity t = t.capacity
+  let seen t = t.seen
+
+  let events t =
+    let k = min t.seen t.capacity in
+    List.init k (fun i ->
+        match t.buf.((t.seen - k + i) mod t.capacity) with
+        | Some e -> e
+        | None -> assert false)
+
+  let to_json ?(reason = "") ?(extra = []) t : Json.t =
+    Json.Obj
+      ([
+         "schema", Json.Str "smartly-flightrec-v1";
+         "reason", Json.Str reason;
+         ( "current_pass",
+           match Event.current_pass () with
+           | Some p -> Json.Str p
+           | None -> Json.Null );
+         "seen", Json.num_of_int t.seen;
+         "retained", Json.num_of_int (min t.seen t.capacity);
+         "events", Json.List (List.map Event.to_json (events t));
+       ]
+      @ extra)
+end
+
+(* Run ledger: one directory per CLI run holding everything the run
+   produced — manifest, ordered event stream, traces, provenance, SAT
+   dumps, reports, and the flight-recorder dump if it died.  [smartly
+   report] renders a run from these files alone, without the process that
+   wrote them. *)
+module Ledger = struct
+  type t = {
+    dir : string;
+    run_id : string;
+    started : float;  (* Unix epoch seconds, for humans; not monotonic *)
+    argv : string list;
+    env : Json.t;
+    ring : Ring.t;
+    mutable events_sub : Event.subscription option;
+    mutable finished : bool;
+  }
+
+  let default_root = Filename.concat ".smartly" "runs"
+
+  let rec mkdir_p dir =
+    if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+    else begin
+      mkdir_p (Filename.dirname dir);
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  let fresh_run_id () =
+    let tm = Unix.gmtime (Unix.gettimeofday ()) in
+    Printf.sprintf "%04d%02d%02d-%02d%02d%02d-%d"
+      (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+      tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec (Unix.getpid ())
+
+  let path t name = Filename.concat t.dir name
+
+  let write_file p contents =
+    let oc = open_out p in
+    output_string oc contents;
+    output_char oc '\n';
+    close_out oc
+
+  let manifest_json ?(status = "running") ?(extra = []) t : Json.t =
+    Json.Obj
+      ([
+         "schema", Json.Str "smartly-run-v1";
+         "run_id", Json.Str t.run_id;
+         "argv", Json.List (List.map (fun a -> Json.Str a) t.argv);
+         "env", t.env;
+         "started_unix", Json.Num t.started;
+         "status", Json.Str status;
+       ]
+      @ extra)
+
+  let write_manifest ?status ?extra t =
+    write_file (path t "manifest.json")
+      (Json.to_string ~pretty:true (manifest_json ?status ?extra t))
+
+  let create ?(root = default_root) ?run_id ?(attach_events = true)
+      ?(ring_capacity = 256) ~argv ~env () =
+    let base = match run_id with Some id -> id | None -> fresh_run_id () in
+    mkdir_p root;
+    (* Two runs in the same second from the same shell script are routine
+       (make ci does exactly that); claim a fresh directory by suffix. *)
+    let rec claim i =
+      let id = if i = 0 then base else Printf.sprintf "%s-%d" base i in
+      let dir = Filename.concat root id in
+      match Unix.mkdir dir 0o755 with
+      | () -> id, dir
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) when i < 1000 ->
+        claim (i + 1)
+    in
+    let run_id, dir = claim 0 in
+    let t =
+      {
+        dir;
+        run_id;
+        started = Unix.gettimeofday ();
+        argv;
+        env;
+        ring = Ring.create ~capacity:ring_capacity ();
+        events_sub = None;
+        finished = false;
+      }
+    in
+    write_manifest t;
+    ignore (Ring.attach t.ring);
+    if attach_events then
+      t.events_sub <- Some (Event.attach_jsonl ~path:(path t "events.jsonl"));
+    t
+
+  let dir t = t.dir
+  let run_id t = t.run_id
+  let ring t = t.ring
+
+  let dump_flight ?(extra = []) ~reason t =
+    let p = path t "flightrec.json" in
+    write_file p
+      (Json.to_string ~pretty:true (Ring.to_json ~reason ~extra t.ring));
+    p
+
+  let finish ?(extra = []) ~status t =
+    if not t.finished then begin
+      t.finished <- true;
+      (match t.events_sub with
+      | Some s ->
+        t.events_sub <- None;
+        Event.unsubscribe s
+      | None -> ());
+      Ring.detach t.ring;
+      write_manifest ~status
+        ~extra:(("ended_unix", Json.Num (Unix.gettimeofday ())) :: extra)
+        t
+    end
 end

@@ -66,6 +66,99 @@ module Json : sig
   val mem_int : string -> t -> int option
   val mem_str : string -> t -> string option
   val mem_list : string -> t -> t list option
+
+  val parse_jsonl_partial : string -> (t * int) list * int option
+  (** Tolerant JSONL reader for logs a killed process may have torn:
+      every complete leading line as [(value, byte offset of line
+      start)], and [Some offset] of the first malformed line (the torn
+      tail), [None] when the whole text parsed.  Blank lines are
+      skipped; the scan stops at the first damage rather than resyncing
+      past it. *)
+end
+
+(** The unified event bus: one ordered stream of run, pass, span,
+    metric, provenance, SAT-query and budget events, fanned out to
+    pluggable subscriber sinks.
+
+    Two invariants hold by construction over the lifetime of a
+    {!reset}: [seq] is gapless and strictly increasing, and [t_ns] is
+    non-decreasing (monotonic clock readings, clamped).  A subscriber
+    that raises is marked dead and skipped from then on — one failing
+    sink never loses events for the others.  With no subscribers,
+    {!emit} costs one list check. *)
+module Event : sig
+  type kind =
+    | Run_start
+    | Run_end
+    | Pass_start  (** [name] = pass; pushes the current-pass stack *)
+    | Pass_end  (** pops the current-pass stack *)
+    | Span_open
+    | Span_close
+    | Metric
+    | Provenance
+    | Sat_query
+    | Budget_exceeded
+    | Note
+
+  type t = {
+    seq : int;  (** gapless, strictly increasing since {!reset} *)
+    t_ns : int64;  (** monotonic stamp, non-decreasing along the stream *)
+    kind : kind;
+    name : string;  (** pass/span/query label; [""] when meaningless *)
+    data : Json.t;  (** kind-specific payload; [Null] when none *)
+  }
+
+  val kind_name : kind -> string
+  val kind_of_name : string -> kind option
+
+  type subscription
+
+  val subscribe : ?name:string -> (t -> unit) -> subscription
+  (** Register a sink.  [name] labels it in {!failed_sinks}. *)
+
+  val unsubscribe : subscription -> unit
+  (** Remove the sink and run its close hook (file sinks close their
+      channel). *)
+
+  val subscriber_count : unit -> int
+
+  val failed_sinks : unit -> (string * string) list
+  (** Sinks disabled after raising, as [(name, first error)]. *)
+
+  val enabled : unit -> bool
+  (** [true] iff at least one subscriber is registered.  Guards payload
+      construction on hot paths. *)
+
+  val emit : ?name:string -> ?data:Json.t -> kind -> unit
+  (** Stamp and deliver one event to every live subscriber.  Pass-stack
+      upkeep ({!current_pass}) happens even with no subscribers. *)
+
+  val current_pass : unit -> string option
+  (** The innermost pass with a [Pass_start] not yet closed — what a
+      flight-recorder dump names as in-flight. *)
+
+  val emitted : unit -> int
+  (** Events delivered (to at least one subscriber) since {!reset}. *)
+
+  val reset : unit -> unit
+  (** Drop all subscribers (running their close hooks), restart [seq],
+      clear the pass stack.  Scopes the bus to one run, like
+      {!Metrics.reset}. *)
+
+  val to_json : t -> Json.t
+  val of_json : Json.t -> (t, string) result
+
+  val parse_jsonl_partial : string -> t list * int option
+  (** Decode an [events.jsonl] stream tolerantly: all complete leading
+      events, plus the byte offset of the torn tail if any. *)
+
+  val attach_jsonl : path:string -> subscription
+  (** Durable file sink: one compact JSON line per event, flushed per
+      event.  Unsubscribing (or {!reset}) closes the file. *)
+
+  val attach_progress : ?out:out_channel -> unit -> subscription
+  (** Live TTY sink: one line per completed pass and per budget verdict,
+      written to [out] (default [stderr]). *)
 end
 
 (** Nested wall-clock spans with a single global sink.
@@ -255,6 +348,12 @@ module Provenance : sig
   (** Strict: every non-blank line must be a well-formed event.  [Error]
       messages carry the 1-based line number. *)
 
+  val parse_jsonl_partial : string -> event list * int option
+  (** Tolerant: recover every complete leading record from a log whose
+      writer may have been killed mid-line, and report the byte offset
+      of the torn tail ([None] when the whole text parsed).  This is
+      what [smartly report] uses on flight-recorder ledgers. *)
+
   (** One row of the area-attribution table. *)
   type attribution = {
     mech : string;  (** {!mechanism_name} of the row's mechanism *)
@@ -274,4 +373,92 @@ module Provenance : sig
   val summary_json : event list -> Json.t
   (** [{"events", "cells_removed", "area_saved", "by_mechanism": [...]}] —
       the [provenance_summary] section of the [--json] report. *)
+end
+
+(** Flight recorder: a fixed-capacity ring of the most recent bus events.
+
+    Subscribed for every ledgered run (one array store per event), so
+    when a run dies — uncaught exception, SIGINT, budget kill — the last
+    N events plus the in-flight pass name are dumpable after the fact. *)
+module Ring : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] defaults to 256 and is clamped to at least 1. *)
+
+  val attach : t -> Event.subscription
+  (** Subscribe the ring to the event bus. *)
+
+  val detach : t -> unit
+  (** Unsubscribe; retained events stay readable. *)
+
+  val push : t -> Event.t -> unit
+  (** Record one event directly (what {!attach} wires up). *)
+
+  val capacity : t -> int
+
+  val seen : t -> int
+  (** Total events pushed, including those the ring has since dropped. *)
+
+  val events : t -> Event.t list
+  (** The retained window, oldest first. *)
+
+  val to_json : ?reason:string -> ?extra:(string * Json.t) list -> t -> Json.t
+  (** The [smartly-flightrec-v1] document: reason, current pass (from
+      {!Event.current_pass}), seen/retained counts, the retained events,
+      and any [extra] top-level fields (e.g. hardest-query DIMACS
+      refs). *)
+end
+
+(** Per-run ledger directory: [.smartly/runs/<run-id>/] with a manifest,
+    the ordered event stream, and every artifact the run produces.
+
+    The manifest is written at creation with status ["running"] and
+    rewritten by {!finish}; a run that died leaves the ["running"]
+    status, its flushed [events.jsonl] prefix, and (when the death was
+    observed) a flight-recorder dump — enough for [smartly report] to
+    reconstruct what happened without the writing process. *)
+module Ledger : sig
+  type t
+
+  val default_root : string
+  (** [".smartly/runs"], relative to the working directory. *)
+
+  val fresh_run_id : unit -> string
+  (** UTC timestamp plus pid, e.g. ["20260808-142233-91021"]. *)
+
+  val create :
+    ?root:string ->
+    ?run_id:string ->
+    ?attach_events:bool ->
+    ?ring_capacity:int ->
+    argv:string list ->
+    env:Json.t ->
+    unit ->
+    t
+  (** Make the run directory (suffixing the id on collision), write the
+      initial manifest, attach the flight ring and — unless
+      [attach_events:false] (bench measurement runs, where per-event
+      file I/O would perturb timings) — an [events.jsonl] sink to the
+      bus.  [env] is the caller's environment fingerprint (the CLI
+      passes [Perf.Schema]'s). *)
+
+  val dir : t -> string
+  val run_id : t -> string
+
+  val path : t -> string -> string
+  (** [path t name] is [dir t ^ "/" ^ name] — where runs place their
+      trace, provenance, SAT-dump and report artifacts. *)
+
+  val ring : t -> Ring.t
+
+  val dump_flight :
+    ?extra:(string * Json.t) list -> reason:string -> t -> string
+  (** Write [flightrec.json] from the ring and return its path.  Safe to
+      call from a signal handler (OCaml runs handlers at safe points). *)
+
+  val finish : ?extra:(string * Json.t) list -> status:string -> t -> unit
+  (** Detach the sinks (closing [events.jsonl]) and rewrite the manifest
+      with [status], an end timestamp, and any [extra] summary fields.
+      Idempotent: only the first call acts. *)
 end

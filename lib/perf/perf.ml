@@ -164,21 +164,24 @@ module Schema = struct
       @ (match m.mad with Some v -> [ "mad", Num v ] | None -> [])
       @ match m.runs with Some r -> [ "runs", num_of_int r ] | None -> [])
 
+  let env_to_json (e : env) : Obs.Json.t =
+    let open Obs.Json in
+    Obj
+      [
+        "hostname", Str e.hostname;
+        "ocaml_version", Str e.ocaml_version;
+        "git_rev", Str e.git_rev;
+        "repetitions", num_of_int e.repetitions;
+        "created", Str e.created;
+      ]
+
   let to_json (d : doc) : Obs.Json.t =
     let open Obs.Json in
     Obj
       [
         "schema", Str version;
         "section", Str d.section;
-        ( "env",
-          Obj
-            [
-              "hostname", Str d.env.hostname;
-              "ocaml_version", Str d.env.ocaml_version;
-              "git_rev", Str d.env.git_rev;
-              "repetitions", num_of_int d.env.repetitions;
-              "created", Str d.env.created;
-            ] );
+        "env", env_to_json d.env;
         ( "cases",
           List
             (List.map

@@ -94,6 +94,10 @@ module Schema : sig
   (** Of the running process; [git_rev] is ["unknown"] outside a git
       checkout. *)
 
+  val env_to_json : env -> Obs.Json.t
+  (** The ["env"] object of {!to_json}, standalone — the run-ledger
+      manifest ({!Obs.Ledger}) reuses the same fingerprint shape. *)
+
   type doc = { section : string; env : env; cases : case list }
 
   val to_json : doc -> Obs.Json.t
