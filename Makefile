@@ -19,14 +19,19 @@ bench: build
 # machines.  The diff table lands in /tmp/smartly_bench_diff.txt for
 # artifact upload.
 #
-# The gate runs twice.  Baselines are recorded with --no-sat-memo
-# (verdict cache off, SAT session on), so the --no-sat-memo leg must
-# reproduce every deterministic counter exactly — this proves the
-# committed SAT-conflict/time numbers were beaten by the incremental
-# solver itself, not by a cache shortcut that could mask a solver
-# regression.  The default leg then runs with the memo enabled: areas
-# and cell counts must still match exactly, while the SAT counters may
-# only improve (the gate passes Improved, fails Regressed).
+# The gate runs three times.  Baselines are recorded with --no-sat-memo
+# (verdict cache off, SAT session + value analysis on), so the
+# --no-sat-memo leg must reproduce every deterministic counter exactly —
+# this proves the committed SAT-conflict/time numbers were beaten by the
+# incremental solver itself, not by a cache shortcut that could mask a
+# solver regression.  The default leg then runs with the memo enabled:
+# areas and cell counts must still match exactly, while the SAT counters
+# may only improve (the gate passes Improved, fails Regressed).  The
+# third leg disables the abstract-interpretation rung zero and gates
+# against bench/baselines/noanalysis, recorded in the same mode: areas
+# are byte-identical across the two stores while their sat_queries
+# differ, so the committed diff attributes the query reduction to the
+# rung the same way the memo legs attribute the cache win.
 #
 # The last step is a self-test of the gate itself: --pessimize turns
 # the smartly flows into no-ops, so the re-measured areas genuinely
@@ -37,6 +42,9 @@ bench-check: build
 	  --threshold-scale 4 --report /tmp/smartly_bench_diff.txt
 	dune exec bench/main.exe -- table2 mux_chain --check \
 	  --threshold-scale 4 --report /tmp/smartly_bench_diff_memo.txt
+	dune exec bench/main.exe -- table2 mux_chain --check --no-sat-memo \
+	  --no-analysis --baseline-dir bench/baselines/noanalysis \
+	  --threshold-scale 4 --report /tmp/smartly_bench_diff_noanalysis.txt
 	@if dune exec bench/main.exe -- mux_chain --check --pessimize \
 	    --report /tmp/smartly_bench_pessimized.txt >/dev/null 2>&1; then \
 	  echo "bench-check: BROKEN GATE — pessimized run passed"; exit 1; \
@@ -58,6 +66,11 @@ bench-baselines: build
 	  --update-baselines --no-sat-memo --reps 1
 	dune exec bench/main.exe -- mux_chain --update-baselines --no-sat-memo \
 	  --reps 3
+	dune exec bench/main.exe -- table2 table3 industrial \
+	  --update-baselines --no-sat-memo --no-analysis \
+	  --baseline-dir bench/baselines/noanalysis --reps 1
+	dune exec bench/main.exe -- mux_chain --update-baselines --no-sat-memo \
+	  --no-analysis --baseline-dir bench/baselines/noanalysis --reps 3
 
 # What CI runs: build, the full test suite, then an end-to-end smoke of
 # the observability surface — optimize the fast mux_chain profile with
@@ -71,7 +84,11 @@ bench-baselines: build
 # The lint step covers every checked-in example plus the two smoke
 # profiles; `lint` exits nonzero on error-severity findings, so a
 # regression that makes an example ill-formed fails the build, and the
-# JSON report must survive the strict parser.  The mux_chain
+# JSON report must survive the strict parser.  The analyze step runs
+# the value-analysis fixpoint over the three lint-clean examples and
+# validates each smartly-analysis-v1 report — the same backend the
+# NL010..NL013 rules and the engine's rung zero use, exercised on real
+# sources rather than profiles.  The mux_chain
 # optimization is re-run under --check-invariants, which validates,
 # lints and equivalence-checks the circuit after every pass.  Finally
 # the run-ledger surface: a deliberately budget-starved run (1 ms per
@@ -84,6 +101,15 @@ ci: build
 	dune exec bin/smartly_cli.exe -- lint examples/*.v mux_chain riscv \
 	  --json > /tmp/smartly_lint.json
 	dune exec bin/smartly_cli.exe -- validate-json /tmp/smartly_lint.json
+	dune exec bin/smartly_cli.exe -- analyze examples/alu.v --json \
+	  > /tmp/smartly_analysis_alu.json
+	dune exec bin/smartly_cli.exe -- analyze examples/gray_counter.v --json \
+	  > /tmp/smartly_analysis_gray_counter.json
+	dune exec bin/smartly_cli.exe -- analyze examples/priority_select.v \
+	  --json > /tmp/smartly_analysis_priority_select.json
+	dune exec bin/smartly_cli.exe -- validate-json \
+	  /tmp/smartly_analysis_alu.json /tmp/smartly_analysis_gray_counter.json \
+	  /tmp/smartly_analysis_priority_select.json
 	dune exec bin/smartly_cli.exe -- opt mux_chain --flow smartly \
 	  --check-invariants
 	dune exec bin/smartly_cli.exe -- opt mux_chain --flow smartly \

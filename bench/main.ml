@@ -37,6 +37,12 @@
                            mode so the memo-off CI leg reproduces the
                            deterministic counters exactly, while the
                            default leg must only ever improve on them
+     --no-analysis         disable the abstract-interpretation rung zero in
+                           the smaRTLy variants; bench/baselines/noanalysis
+                           is recorded in this mode, so the committed diff
+                           between the two baseline stores documents the
+                           SAT queries the rung eliminates — with the areas
+                           byte-identical
      --no-ledger           don't record this run under .smartly/runs/
      --ledger-root DIR     where the run ledger lives (default
                            .smartly/runs)
@@ -59,6 +65,7 @@ let threshold_scale = ref 1.0
 let report_path = ref None
 let pessimize = ref false
 let no_sat_memo = ref false
+let no_analysis = ref false
 let no_ledger = ref false
 let ledger_root = ref Obs.Ledger.default_root
 let progress = ref false
@@ -135,6 +142,13 @@ let optimized flow (c0 : Circuit.t) =
       if !no_sat_memo then { cfg with Smartly.Config.enable_sat_memo = false }
       else cfg
     in
+    (* --no-analysis likewise: the noanalysis baseline store is recorded
+       without the rung, so its gate leg reproduces those counters and the
+       committed diff between the stores is the rung's attribution *)
+    let cfg =
+      if !no_analysis then { cfg with Smartly.Config.enable_analysis = false }
+      else cfg
+    in
     ignore (Smartly.Driver.smartly ~cfg c));
   c
 
@@ -164,6 +178,9 @@ type case_result = {
   memo_misses : int;
   memo_evictions : int;
   session_flushes : int;
+  analysis_queries : int;
+  analysis_hits : int;
+  analysis_sweeps : int;
   (* SAT conflicts-per-query percentiles of the full-flow run *)
   conf_p50 : float;
   conf_p90 : float;
@@ -213,6 +230,9 @@ let run_case ?(variants = `All) (p : Workloads.Profiles.profile) : case_result
   let memo_misses = counter "memo.misses" in
   let memo_evictions = counter "memo.evictions" in
   let session_flushes = counter "sat_session.flushes" in
+  let analysis_queries = counter "engine.analysis_queries" in
+  let analysis_hits = counter "engine.analysis_hits" in
+  let analysis_sweeps = counter "engine.analysis_sweeps" in
   let conf =
     Obs.Metrics.histogram_stats
       (Obs.Metrics.histogram "engine.conflicts_per_query")
@@ -237,6 +257,9 @@ let run_case ?(variants = `All) (p : Workloads.Profiles.profile) : case_result
     memo_misses;
     memo_evictions;
     session_flushes;
+    analysis_queries;
+    analysis_hits;
+    analysis_sweeps;
     conf_p50 = conf.Obs.Metrics.p50;
     conf_p90 = conf.Obs.Metrics.p90;
     conf_max = conf.Obs.Metrics.max_v;
@@ -290,6 +313,19 @@ let sat_counter_metrics (r : case_result) =
              (f r.memo_hits);
            scalar ~name:"memo_misses" ~kind:Count (f r.memo_misses);
          ])
+  (* analysis counters only exist when the rung ran: the noanalysis
+     baseline store omits them, so its gate leg sees the rung's metrics
+     as New_metric (ignored), never as an exact-Count mismatch.  The
+     rung sits before memo, so both of the memo legs reproduce these
+     counts exactly against the default baseline store *)
+  @ (if !no_analysis then []
+     else
+       Perf.Schema.
+         [
+           scalar ~name:"analysis_queries" ~kind:Count (f r.analysis_queries);
+           scalar ~direction:Higher_better ~name:"analysis_hits" ~kind:Count
+             (f r.analysis_hits);
+         ])
   (* always committed: memoization can only merge the stale periods the
      session observes, so the memo-on leg's flush count never exceeds the
      memo-off baseline's (Lower_better => Improved/Unchanged, never a
@@ -301,12 +337,15 @@ let sat_counter_metrics (r : case_result) =
 
 (* the per-case cache/session panel of every statistical section *)
 let counters_table results =
-  print_endline "Cross-query memo and SAT-session counters (full flow):";
+  print_endline
+    "Rung-zero analysis, cross-query memo and SAT-session counters (full \
+     flow):";
   Report.Table.print
     ~columns:
       [
         Report.Table.column ~align:Report.Table.Left "Case";
         Report.Table.column "queries";
+        Report.Table.column "analysis";
         Report.Table.column "memo hit";
         Report.Table.column "memo miss";
         Report.Table.column "evict";
@@ -318,6 +357,7 @@ let counters_table results =
            [
              r.name;
              string_of_int r.sat_queries;
+             Printf.sprintf "%d/%d" r.analysis_hits r.analysis_queries;
              string_of_int r.memo_hits;
              string_of_int r.memo_misses;
              string_of_int r.memo_evictions;
@@ -843,7 +883,8 @@ let usage () =
     \             [--compare | --check] [--update-baselines]\n\
     \             [--baseline-dir DIR] [--threshold-scale X]\n\
     \             [--report FILE] [--pessimize] [--no-sat-memo]\n\
-    \             [--no-ledger] [--ledger-root DIR] [--progress]\n\
+    \             [--no-analysis] [--no-ledger] [--ledger-root DIR]\n\
+    \             [--progress]\n\
      sections: table2 table3 industrial mux_chain figures ablation timing all";
   exit 2
 
@@ -874,6 +915,9 @@ let () =
       parse sections rest
     | "--no-sat-memo" :: rest ->
       no_sat_memo := true;
+      parse sections rest
+    | "--no-analysis" :: rest ->
+      no_analysis := true;
       parse sections rest
     | "--no-ledger" :: rest ->
       no_ledger := true;

@@ -119,6 +119,16 @@ let no_sat_memo_arg =
            resolved from scratch.  The final netlist is identical either \
            way; this knob exists for benchmarking and for proving it.")
 
+let no_analysis_arg =
+  Arg.(
+    value & flag
+    & info [ "no-analysis" ]
+        ~doc:
+          "Disable the abstract-interpretation rung zero: every query \
+           falls through to the memo/sim/SAT rungs.  The final netlist is \
+           identical either way; this knob exists for benchmarking and \
+           for proving it.")
+
 let sat_session_arg =
   Arg.(
     value
@@ -284,6 +294,125 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Print netlist statistics and the AIG area.")
     Term.(const run $ src_arg $ style_arg $ json_arg)
 
+(* `smartly analyze`: the whole-circuit abstract-interpretation fixpoint
+   with no path seeds — per-wire known bits and intervals, plus the
+   derived cell facts that back the NL010..NL013 lint rules. *)
+let analyze_cmd =
+  let run src style json =
+    let c = load_circuit ~style src in
+    let cells =
+      try Netlist.Topo.sort c
+      with Netlist.Topo.Combinational_cycle ids ->
+        Printf.eprintf "analyze: combinational cycle through cells %s\n%!"
+          (String.concat ", " (List.map string_of_int ids));
+        exit 1
+    in
+    match Analysis.Fixpoint.run c cells with
+    | Analysis.Fixpoint.Contradiction ->
+      (* unseeded, this would mean the circuit itself is inconsistent —
+         impossible for a well-formed netlist, but report it rather than
+         crash if an abstraction bug ever produces it *)
+      Printf.eprintf "analyze: contradiction on the unseeded fixpoint\n%!";
+      exit 1
+    | Analysis.Fixpoint.Converged o ->
+      let st = o.Analysis.Fixpoint.state in
+      let facts = Analysis.Facts.derive c st in
+      let wires =
+        Hashtbl.fold (fun _ w acc -> w :: acc) c.Netlist.Circuit.wires []
+        |> List.sort (fun (a : Netlist.Circuit.wire) b ->
+               compare a.Netlist.Circuit.wire_id b.Netlist.Circuit.wire_id)
+      in
+      if json then begin
+        let open Obs.Json in
+        let wire_json (w : Netlist.Circuit.wire) =
+          let s = Netlist.Circuit.sig_of_wire w in
+          Obj
+            [
+              "id", num_of_int w.Netlist.Circuit.wire_id;
+              "name", Str w.Netlist.Circuit.wire_name;
+              "width", num_of_int w.Netlist.Circuit.width;
+              "bits", Str (Analysis.Absval.to_string st s);
+              ( "interval",
+                match Analysis.Absval.get_itv st s with
+                | None -> Null
+                | Some i ->
+                  Obj
+                    [
+                      "lo", num_of_int i.Analysis.Absval.lo;
+                      "hi", num_of_int i.Analysis.Absval.hi;
+                    ] );
+            ]
+        in
+        print_endline
+          (to_string ~pretty:true
+             (Obj
+                [
+                  "schema", Str "smartly-analysis-v1";
+                  "source", Str src;
+                  "cells", num_of_int (Netlist.Circuit.cell_count c);
+                  "sweeps", num_of_int o.Analysis.Fixpoint.sweeps;
+                  "wires", List (List.map wire_json wires);
+                  ( "facts",
+                    List (List.map Analysis.Facts.fact_to_json facts) );
+                ]))
+      end
+      else begin
+        Printf.printf "analysis: %d cells, fixpoint in %d sweep%s\n"
+          (Netlist.Circuit.cell_count c)
+          o.Analysis.Fixpoint.sweeps
+          (if o.Analysis.Fixpoint.sweeps = 1 then "" else "s");
+        let nontrivial_itv (w : Netlist.Circuit.wire) s =
+          match Analysis.Absval.get_itv st s with
+          | Some i
+            when w.Netlist.Circuit.width <= Analysis.Absval.max_itv_width ->
+            i.Analysis.Absval.lo > 0
+            || i.Analysis.Absval.hi < (1 lsl w.Netlist.Circuit.width) - 1
+          | _ -> false
+        in
+        let pinned =
+          List.filter
+            (fun (w : Netlist.Circuit.wire) ->
+              let s = Netlist.Circuit.sig_of_wire w in
+              String.exists (fun ch -> ch <> '?')
+                (Analysis.Absval.to_string st s)
+              || nontrivial_itv w s)
+            wires
+        in
+        Printf.printf "wires with derived facts: %d of %d\n"
+          (List.length pinned) (List.length wires);
+        List.iter
+          (fun (w : Netlist.Circuit.wire) ->
+            let s = Netlist.Circuit.sig_of_wire w in
+            let itv =
+              match Analysis.Absval.get_itv st s with
+              | Some i when not (i.Analysis.Absval.lo = 0
+                                 && i.Analysis.Absval.hi
+                                    = (1 lsl w.Netlist.Circuit.width) - 1) ->
+                Printf.sprintf " in [%d, %d]" i.Analysis.Absval.lo
+                  i.Analysis.Absval.hi
+              | _ -> ""
+            in
+            Printf.printf "  %-24s = %s%s\n" w.Netlist.Circuit.wire_name
+              (Analysis.Absval.to_string st s)
+              itv)
+          pinned;
+        Printf.printf "cell facts: %d\n" (List.length facts);
+        List.iter
+          (fun f ->
+            Printf.printf "  [%s] %s\n"
+              (Analysis.Facts.fact_rule f)
+              (Analysis.Facts.fact_message f))
+          facts
+      end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the abstract-interpretation value analysis (known bits + \
+          intervals) over a circuit and report per-wire abstract values \
+          and derived facts.")
+    Term.(const run $ src_arg $ style_arg $ json_arg)
+
 (* --- the optimization flows, one code path for every variant --- *)
 
 type outcome =
@@ -299,8 +428,8 @@ let flow_name = function
   | `Rebuild -> "rebuild"
 
 let run_flow ?after_pass ?(sat_memo = true) ?(sat_session = true)
-    ?(pass_budget_ms = None) ?(pass_alloc_budget_mw = None) flow
-    (c : Netlist.Circuit.t) : outcome =
+    ?(analysis = true) ?(pass_budget_ms = None) ?(pass_alloc_budget_mw = None)
+    flow (c : Netlist.Circuit.t) : outcome =
   match flow with
   | `None -> O_none
   | `Yosys -> O_yosys (Smartly.Driver.yosys ?after_pass c)
@@ -316,6 +445,7 @@ let run_flow ?after_pass ?(sat_memo = true) ?(sat_session = true)
         cfg with
         Smartly.Config.enable_sat_memo = sat_memo;
         enable_sat_session = sat_session;
+        enable_analysis = analysis;
         pass_budget_ms;
         pass_alloc_budget_mw;
       }
@@ -346,6 +476,8 @@ let engine_totals (o : outcome) : Smartly.Engine.stats =
         let e = rr.Smartly.Sat_elim.engine in
         let open Smartly.Engine in
         acc.rule_hits <- acc.rule_hits + e.rule_hits;
+        acc.analysis_hits <- acc.analysis_hits + e.analysis_hits;
+        acc.analysis_queries <- acc.analysis_queries + e.analysis_queries;
         acc.sim_queries <- acc.sim_queries + e.sim_queries;
         acc.sat_queries <- acc.sat_queries + e.sat_queries;
         acc.memo_hits <- acc.memo_hits + e.memo_hits;
@@ -407,6 +539,27 @@ let session_json () : Obs.Json.t =
       "cell_reuses", num_of_int (counter_value "sat_session.cell_reuses");
     ]
 
+(* The rung-zero counters as one JSON object — the [analysis] section of
+   the --json report and of bench per-case output.  [Null] when the rung
+   never ran (--no-analysis, or a flow without the sat pass), so gates
+   diffing reports across configs never see a spurious section. *)
+let analysis_json () : Obs.Json.t =
+  let open Obs.Json in
+  let queries = counter_value "engine.analysis_queries" in
+  if queries = 0 then Null
+  else
+    Obj
+      [
+        "queries", num_of_int queries;
+        "hits", num_of_int (counter_value "engine.analysis_hits");
+        "forced", num_of_int (counter_value "engine.analysis_forced");
+        "unreachable", num_of_int (counter_value "engine.analysis_unreachable");
+        "sim_avoided", num_of_int (counter_value "engine.analysis_sim_avoided");
+        "sat_avoided", num_of_int (counter_value "engine.analysis_sat_avoided");
+        "sweeps", num_of_int (counter_value "engine.analysis_sweeps");
+        "seconds", histogram_percentiles_json "engine.analysis_seconds";
+      ]
+
 let overruns_of = function
   | O_none | O_yosys _ -> []
   | O_smartly r -> r.Smartly.Driver.overruns
@@ -451,6 +604,7 @@ let stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink ~psink :
             "decisions", num_of_int e.Smartly.Engine.sat_decisions;
             "propagations", num_of_int e.Smartly.Engine.sat_propagations;
             "rule_hits", num_of_int e.Smartly.Engine.rule_hits;
+            "analysis_hits", num_of_int e.Smartly.Engine.analysis_hits;
             "sim_queries", num_of_int e.Smartly.Engine.sim_queries;
             "memo_hits", num_of_int e.Smartly.Engine.memo_hits;
             "memo_misses", num_of_int e.Smartly.Engine.memo_misses;
@@ -460,6 +614,7 @@ let stats_report_json ~src ~flow ~area0 ~area1 ~dt ~outcome ~sink ~psink :
           ] );
       "memo", Smartly.Memo.to_json ();
       "session", session_json ();
+      "analysis", analysis_json ();
       ( "budget",
         List
           (List.map Smartly.Budget.overrun_to_json (overruns_of outcome)) );
@@ -515,8 +670,8 @@ let flight_extra () =
 
 let opt_cmd =
   let run src style flow check verbose trace json provenance sat_dump
-      check_invariants no_sat_memo sat_session no_ledger ledger_root
-      pass_budget_ms pass_alloc_budget_mw progress =
+      check_invariants no_sat_memo no_analysis sat_session no_ledger
+      ledger_root pass_budget_ms pass_alloc_budget_mw progress =
     let c = load_circuit ~style src in
     let orig = Netlist.Circuit.copy c in
     let invariants =
@@ -601,7 +756,8 @@ let opt_cmd =
     let outcome =
       try
         run_flow ?after_pass ~sat_memo:(not no_sat_memo) ~sat_session
-          ~pass_budget_ms ~pass_alloc_budget_mw flow c
+          ~analysis:(not no_analysis) ~pass_budget_ms ~pass_alloc_budget_mw
+          flow c
       with e ->
         (match ledger with
         | Some l ->
@@ -625,6 +781,7 @@ let opt_cmd =
              "wall_seconds", Obs.Json.Num dt;
              "memo", Smartly.Memo.to_json ();
              "session", session_json ();
+             "analysis", analysis_json ();
              "overruns", Obs.Json.num_of_int (List.length overruns);
            ])
       Obs.Event.Run_end;
@@ -670,6 +827,13 @@ let opt_cmd =
       (flow_name flow) area0 area1 (Report.Table.pct red)
       (Report.Table.secs dt);
     (let e = engine_totals outcome in
+     if e.Smartly.Engine.analysis_queries > 0 then
+       Fmt.pf human "analysis: %d/%d rung-zero hits (%s)@."
+         e.Smartly.Engine.analysis_hits e.Smartly.Engine.analysis_queries
+         (Report.Table.pct
+            (100.0
+            *. float_of_int e.Smartly.Engine.analysis_hits
+            /. float_of_int e.Smartly.Engine.analysis_queries));
      let consults = e.Smartly.Engine.memo_hits + e.Smartly.Engine.memo_misses in
      if consults > 0 then
        Fmt.pf human "memo: %d/%d hits (%s), %d entries@."
@@ -766,8 +930,8 @@ let opt_cmd =
     Term.(
       const run $ src_arg $ style_arg $ flow_arg $ check_arg $ verbose_arg
       $ trace_arg $ json_arg $ provenance_arg $ sat_dump_arg
-      $ check_invariants_arg $ no_sat_memo_arg $ sat_session_arg
-      $ no_ledger_arg $ ledger_root_arg $ pass_budget_ms_arg
+      $ check_invariants_arg $ no_sat_memo_arg $ no_analysis_arg
+      $ sat_session_arg $ no_ledger_arg $ ledger_root_arg $ pass_budget_ms_arg
       $ pass_alloc_budget_mw_arg $ progress_arg)
 
 let write_verilog_cmd =
@@ -1345,6 +1509,15 @@ let report_cmd =
       Option.bind run_end (fun (e : Obs.Event.t) ->
           Obs.Json.member "session" e.Obs.Event.data)
     in
+    (* only runs with the rung enabled carry a non-null analysis object *)
+    let analysis =
+      match
+        Option.bind run_end (fun (e : Obs.Event.t) ->
+            Obs.Json.member "analysis" e.Obs.Event.data)
+      with
+      | Some (Obs.Json.Obj _ as a) -> Some a
+      | _ -> None
+    in
     let status =
       Option.value
         (Option.bind manifest (Obs.Json.mem_str "status"))
@@ -1387,6 +1560,7 @@ let report_cmd =
                 "sat_queries", num_of_int sat_queries;
                 "memo", Option.value memo ~default:Null;
                 "session", Option.value session ~default:Null;
+                "analysis", Option.value analysis ~default:Null;
                 ( "budget",
                   List
                     (List.map
@@ -1468,6 +1642,16 @@ let report_cmd =
           (Option.value (Obs.Json.mem_int "misses" m) ~default:0)
           (Option.value (Obs.Json.mem_int "evictions" m) ~default:0)
       | None -> ());
+      (match analysis with
+      | Some a ->
+        Printf.printf
+          "  analysis: hits=%d/%d forced=%d unreachable=%d sweeps=%d\n"
+          (Option.value (Obs.Json.mem_int "hits" a) ~default:0)
+          (Option.value (Obs.Json.mem_int "queries" a) ~default:0)
+          (Option.value (Obs.Json.mem_int "forced" a) ~default:0)
+          (Option.value (Obs.Json.mem_int "unreachable" a) ~default:0)
+          (Option.value (Obs.Json.mem_int "sweeps" a) ~default:0)
+      | None -> ());
       (match session with
       | Some s ->
         Printf.printf "  session: flushes=%d encodes=%d reuses=%d\n"
@@ -1527,7 +1711,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "smartly" ~version:"1.0.0" ~doc)
     [
-      list_cmd; generate_cmd; stats_cmd; opt_cmd; cec_cmd; dump_cmd;
+      list_cmd; generate_cmd; stats_cmd; analyze_cmd; opt_cmd; cec_cmd;
+      dump_cmd;
       write_verilog_cmd; explain_cmd; replay_cmd; validate_json_cmd; lint_cmd;
       bench_diff_cmd; report_cmd;
     ]

@@ -1,0 +1,217 @@
+(* The two cooperating abstract domains of the value analysis.
+
+   Known-bits: one ternary value per wire bit — definitely 0, definitely
+   1, or unconstrained (top).  Intervals: an unsigned [lo, hi] range per
+   sigspec, tracked only up to [max_itv_width] bits so every bound fits a
+   native int.  The two domains reduce into each other: an interval whose
+   endpoints share a binary prefix pins the prefix bits, and the bitwise
+   bounds of a vector (sum of known ones / sum of possible ones) are a
+   valid interval regardless of bit correlations.
+
+   Everything here is a *meet*: values only ever get more precise, and an
+   empty meet raises [Bottom] — the caller's signal that the assumed facts
+   are contradictory (a dead path). *)
+
+open Netlist
+
+type tern = Zero | One | Top
+
+exception Bottom
+
+type itv = { lo : int; hi : int } (* invariant: 0 <= lo <= hi *)
+
+(* Sigspecs wider than this carry no interval (bounds would overflow);
+   their bits are still tracked individually. *)
+let max_itv_width = 62
+
+type state = {
+  bits : tern Bits.Bit_tbl.t;
+  itvs : (Bits.bit array, itv) Hashtbl.t;
+  mutable dirty : bool; (* any strengthening since the last reset *)
+}
+
+let create () =
+  { bits = Bits.Bit_tbl.create 64; itvs = Hashtbl.create 16; dirty = false }
+
+(* --- ternary lattice --- *)
+
+let tern_of_bool b = if b then One else Zero
+let join a b = if a = b then a else Top
+
+let meet a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | _ -> if a = b then a else raise Bottom
+
+let t_not = function Zero -> One | One -> Zero | Top -> Top
+
+let t_and a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | _ -> Top
+
+let t_or a b =
+  match (a, b) with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | _ -> Top
+
+let t_xor a b =
+  match (a, b) with Top, _ | _, Top -> Top | _ -> if a = b then Zero else One
+
+let t_xnor a b = t_not (t_xor a b)
+
+(* majority(a, b, c): the carry of a full adder and (on complemented
+   inputs) the borrow of a full subtractor *)
+let t_maj a b c = t_or (t_or (t_and a b) (t_and a c)) (t_and b c)
+
+let read st (b : Bits.bit) : tern =
+  match b with
+  | Bits.C0 -> Zero
+  | Bits.C1 -> One
+  | Bits.Cx -> Top
+  | Bits.Of_wire _ -> (
+    match Bits.Bit_tbl.find_opt st.bits b with Some t -> t | None -> Top)
+
+let read_vec st (s : Bits.sigspec) : tern array = Array.map (read st) s
+
+let refine_bit st (b : Bits.bit) (t : tern) =
+  match b with
+  | Bits.C0 -> if t = One then raise Bottom
+  | Bits.C1 -> if t = Zero then raise Bottom
+  | Bits.Cx -> ()
+  | Bits.Of_wire _ ->
+    let cur = read st b in
+    let m = meet cur t in
+    if m <> cur then begin
+      Bits.Bit_tbl.replace st.bits b m;
+      st.dirty <- true
+    end
+
+(* --- intervals --- *)
+
+let itv_meet a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo > hi then raise Bottom;
+  { lo; hi }
+
+(* index of the highest set bit, plus one; 0 for 0 *)
+let bits_needed x =
+  let r = ref 0 and v = ref x in
+  while !v <> 0 do
+    incr r;
+    v := !v lsr 1
+  done;
+  !r
+
+(* Bitwise bounds: each bit contributes independently, so the sum of the
+   definite ones is a lower bound and adding every possible one an upper
+   bound — sound whatever the correlations between bits. *)
+let bits_itv st (s : Bits.sigspec) : itv option =
+  let w = Array.length s in
+  if w > max_itv_width then None
+  else begin
+    let lo = ref 0 and hi = ref 0 in
+    Array.iteri
+      (fun i b ->
+        match read st b with
+        | One ->
+          lo := !lo lor (1 lsl i);
+          hi := !hi lor (1 lsl i)
+        | Top -> hi := !hi lor (1 lsl i)
+        | Zero -> ())
+      s;
+    Some { lo = !lo; hi = !hi }
+  end
+
+let get_itv st (s : Bits.sigspec) : itv option =
+  match bits_itv st s with
+  | None -> None
+  | Some bitwise -> (
+    match Hashtbl.find_opt st.itvs s with
+    | Some stored -> Some (itv_meet stored bitwise)
+    | None -> Some bitwise)
+
+let refine_itv st (s : Bits.sigspec) (v : itv) =
+  let w = Array.length s in
+  if w <= max_itv_width then begin
+    let full = (1 lsl w) - 1 in
+    let v = { lo = max v.lo 0; hi = min v.hi full } in
+    if v.lo > v.hi then raise Bottom;
+    let m =
+      match get_itv st s with Some cur -> itv_meet cur v | None -> v
+    in
+    (match Hashtbl.find_opt st.itvs s with
+    | Some old when old.lo = m.lo && old.hi = m.hi -> ()
+    | _ ->
+      Hashtbl.replace st.itvs s m;
+      st.dirty <- true);
+    (* the common binary prefix of the two endpoints holds for every
+       value in between: pin those bits *)
+    let k = bits_needed (m.lo lxor m.hi) in
+    for i = k to w - 1 do
+      refine_bit st s.(i) (tern_of_bool ((m.lo lsr i) land 1 = 1))
+    done
+  end
+
+(* --- interval transfer helpers (all widths <= max_itv_width) --- *)
+
+let itv_top w = { lo = 0; hi = (1 lsl w) - 1 }
+
+(* wrapping add: keep the range when no summand pair wraps, or when every
+   one does (consistent wrap); a range straddling 2^w folds to top *)
+let itv_add w a b =
+  let m = 1 lsl w in
+  let lo = a.lo + b.lo and hi = a.hi + b.hi in
+  if hi < m then Some { lo; hi }
+  else if lo >= m then Some { lo = lo - m; hi = hi - m }
+  else None
+
+let itv_sub w a b =
+  let m = 1 lsl w in
+  let lo = a.lo - b.hi and hi = a.hi - b.lo in
+  if lo >= 0 then Some { lo; hi }
+  else if hi < 0 then Some { lo = lo + m; hi = hi + m }
+  else None
+
+let itv_and a b = { lo = 0; hi = min a.hi b.hi }
+
+let itv_or a b =
+  let k = max (bits_needed a.hi) (bits_needed b.hi) in
+  { lo = max a.lo b.lo; hi = (1 lsl k) - 1 }
+
+let itv_xor a b =
+  let k = max (bits_needed a.hi) (bits_needed b.hi) in
+  { lo = 0; hi = (1 lsl k) - 1 }
+
+let itv_is_singleton v = v.lo = v.hi
+let itv_disjoint a b = a.hi < b.lo || b.hi < a.lo
+
+(* --- derived predicates --- *)
+
+(* definitely nonzero / definitely zero, falling back to a bit scan for
+   vectors too wide for an interval *)
+let nonzero st (s : Bits.sigspec) =
+  match get_itv st s with
+  | Some v -> v.lo >= 1
+  | None -> Array.exists (fun b -> read st b = One) s
+
+let zero st (s : Bits.sigspec) =
+  match get_itv st s with
+  | Some v -> v.hi = 0
+  | None -> Array.for_all (fun b -> read st b = Zero) s
+
+let definite st (s : Bits.sigspec) : int option =
+  match get_itv st s with Some v when v.lo = v.hi -> Some v.lo | None | Some _ -> None
+
+let all_definite st (s : Bits.sigspec) =
+  Array.for_all (fun b -> read st b <> Top) s
+
+(* MSB-first bit string, e.g. "01??" — the analyze report's rendering *)
+let to_string st (s : Bits.sigspec) =
+  String.init (Array.length s) (fun i ->
+      match read st s.(Array.length s - 1 - i) with
+      | Zero -> '0'
+      | One -> '1'
+      | Top -> '?')

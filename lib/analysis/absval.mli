@@ -1,0 +1,87 @@
+(** Abstract values for the dataflow engine: ternary known-bits per wire
+    bit plus unsigned intervals per sigspec, mutually reducing.
+
+    All updates are meets — values only get more precise — and a meet
+    that empties a value raises {!Bottom}: the assumed facts admit no
+    concrete execution (a dead path). *)
+
+open Netlist
+
+type tern = Zero | One | Top
+
+exception Bottom
+
+type itv = { lo : int; hi : int }  (** invariant: [0 <= lo <= hi] *)
+
+val max_itv_width : int
+(** Sigspecs wider than this carry no interval; bits are still tracked. *)
+
+type state = {
+  bits : tern Bits.Bit_tbl.t;
+  itvs : (Bits.bit array, itv) Hashtbl.t;
+  mutable dirty : bool;  (** any strengthening since last cleared *)
+}
+
+val create : unit -> state
+
+(** {1 Ternary lattice} *)
+
+val tern_of_bool : bool -> tern
+val join : tern -> tern -> tern
+
+val meet : tern -> tern -> tern
+(** @raise Bottom on [Zero]/[One] conflict. *)
+
+val t_not : tern -> tern
+val t_and : tern -> tern -> tern
+val t_or : tern -> tern -> tern
+val t_xor : tern -> tern -> tern
+val t_xnor : tern -> tern -> tern
+
+val t_maj : tern -> tern -> tern -> tern
+(** Majority of three: ripple carry / borrow. *)
+
+val read : state -> Bits.bit -> tern
+(** Constants read as themselves ([Cx] as [Top]); untracked bits as [Top]. *)
+
+val read_vec : state -> Bits.sigspec -> tern array
+
+val refine_bit : state -> Bits.bit -> tern -> unit
+(** Meet into the store. @raise Bottom on conflict. *)
+
+(** {1 Intervals} *)
+
+val itv_meet : itv -> itv -> itv
+val bits_needed : int -> int
+
+val bits_itv : state -> Bits.sigspec -> itv option
+(** Bitwise bounds; [None] when the sigspec is too wide. *)
+
+val get_itv : state -> Bits.sigspec -> itv option
+(** Stored interval met with the bitwise bounds. *)
+
+val refine_itv : state -> Bits.sigspec -> itv -> unit
+(** Meet into the store; pins the bits of the endpoints' common binary
+    prefix.  No-op on too-wide sigspecs. @raise Bottom when empty. *)
+
+val itv_top : int -> itv
+val itv_add : int -> itv -> itv -> itv option
+val itv_sub : int -> itv -> itv -> itv option
+val itv_and : itv -> itv -> itv
+val itv_or : itv -> itv -> itv
+val itv_xor : itv -> itv -> itv
+val itv_is_singleton : itv -> bool
+val itv_disjoint : itv -> itv -> bool
+
+(** {1 Derived predicates} *)
+
+val nonzero : state -> Bits.sigspec -> bool
+val zero : state -> Bits.sigspec -> bool
+
+val definite : state -> Bits.sigspec -> int option
+(** The vector's single possible value, when the interval is a point. *)
+
+val all_definite : state -> Bits.sigspec -> bool
+
+val to_string : state -> Bits.sigspec -> string
+(** MSB-first rendering over [{'0','1','?'}]. *)

@@ -1,0 +1,153 @@
+(* Facts the fixpoint can prove about individual cells — the semantic
+   backend behind lint rules NL010..NL013 and the "facts" section of
+   [smartly analyze].
+
+   Each derivation skips cells whose inputs are all syntactic constants:
+   those are opt_expr's (and NL001's) territory, and reporting them here
+   would double every diagnostic on trivially-foldable logic. *)
+
+open Netlist
+open Absval
+
+type fact =
+  | Comparison_const of { cell : int; op : string; value : bool }
+      (* an eq/ne/logical comparison with a provably constant result *)
+  | Dead_branch of { cell : int; branch : string }
+      (* a mux/pmux branch no select valuation can choose *)
+  | Foldable of { cell : int; width : int; value : int option }
+      (* every output bit definite; [value] when the vector fits an int *)
+  | Always_wraps of { cell : int; op : string }
+      (* add/sub whose result provably wraps past the output width *)
+
+let fact_rule = function
+  | Comparison_const _ -> "NL010"
+  | Dead_branch _ -> "NL011"
+  | Foldable _ -> "NL012"
+  | Always_wraps _ -> "NL013"
+
+let fact_cell = function
+  | Comparison_const { cell; _ }
+  | Dead_branch { cell; _ }
+  | Foldable { cell; _ }
+  | Always_wraps { cell; _ } -> cell
+
+let fact_message = function
+  | Comparison_const { op; value; _ } ->
+    Fmt.str "%s comparison is always %b" op value
+  | Dead_branch { branch; _ } ->
+    Fmt.str "%s is provably never selected" branch
+  | Foldable { width; value; _ } -> (
+    match value with
+    | Some v -> Fmt.str "output is provably constant %d" v
+    | None -> Fmt.str "all %d output bits are provably constant" width)
+  | Always_wraps { op; _ } ->
+    Fmt.str "%s provably wraps past the output width on every input" op
+
+let fact_to_json (f : fact) : Obs.Json.t =
+  let base kind extra =
+    Obs.Json.Obj
+      ([
+         ("rule", Obs.Json.Str (fact_rule f));
+         ("kind", Obs.Json.Str kind);
+         ("cell", Obs.Json.num_of_int (fact_cell f));
+         ("message", Obs.Json.Str (fact_message f));
+       ]
+      @ extra)
+  in
+  match f with
+  | Comparison_const { value; _ } ->
+    base "comparison_const" [ ("value", Obs.Json.Bool value) ]
+  | Dead_branch { branch; _ } ->
+    base "dead_branch" [ ("branch", Obs.Json.Str branch) ]
+  | Foldable { width; value; _ } ->
+    base "foldable"
+      ([ ("width", Obs.Json.num_of_int width) ]
+      @
+      match value with
+      | Some v -> [ ("value", Obs.Json.num_of_int v) ]
+      | None -> [])
+  | Always_wraps { op; _ } -> base "always_wraps" [ ("op", Obs.Json.Str op) ]
+
+let all_const_inputs (cell : Cell.t) =
+  List.for_all Bits.is_const (Cell.input_bits cell)
+
+(* comparisons NL010 covers, so NL012 skips them *)
+let is_comparison = function
+  | Cell.Binary { op = Cell.Eq | Cell.Ne | Cell.Logic_and | Cell.Logic_or; _ }
+  | Cell.Unary { op = Cell.Logic_not; _ } -> true
+  | _ -> false
+
+let comparison_name = function
+  | Cell.Binary { op; _ } -> Cell.binary_op_name op
+  | Cell.Unary { op; _ } -> Cell.unary_op_name op
+  | _ -> "comparison"
+
+let derive (circuit : Circuit.t) (st : Absval.state) : fact list =
+  let facts = ref [] in
+  let emit f = facts := f :: !facts in
+  List.iter
+    (fun id ->
+      let cell = Circuit.cell circuit id in
+      if not (all_const_inputs cell) then begin
+        (match cell with
+        | Cell.Binary { op = Cell.Eq | Cell.Ne | Cell.Logic_and | Cell.Logic_or;
+                        y; _ }
+        | Cell.Unary { op = Cell.Logic_not; y; _ } -> (
+          match read st y.(0) with
+          | One -> emit (Comparison_const
+                           { cell = id; op = comparison_name cell; value = true })
+          | Zero -> emit (Comparison_const
+                            { cell = id; op = comparison_name cell; value = false })
+          | Top -> ())
+        | Cell.Mux { s; _ } when not (Bits.is_const s) -> (
+          match read st s with
+          | One -> emit (Dead_branch { cell = id; branch = "the a (select=0) branch" })
+          | Zero -> emit (Dead_branch { cell = id; branch = "the b (select=1) branch" })
+          | Top -> ())
+        | Cell.Pmux { s; _ } ->
+          let blocked = ref false in
+          Array.iteri
+            (fun i b ->
+              if not (Bits.is_const b) then begin
+                if !blocked || read st b = Zero then
+                  emit
+                    (Dead_branch
+                       { cell = id; branch = Fmt.str "pmux branch %d" i })
+              end;
+              if read st b = One then blocked := true)
+            s;
+          if !blocked
+             && Array.for_all (fun b -> not (Bits.is_const b)) s then
+            emit (Dead_branch { cell = id; branch = "the pmux default branch" })
+        | Cell.Binary { op = Cell.Add | Cell.Sub as op; a; b; y } ->
+          let w = Array.length y in
+          if w <= max_itv_width then begin
+            match (get_itv st a, get_itv st b) with
+            | Some ia, Some ib ->
+              let wraps =
+                match op with
+                | Cell.Add -> ia.lo + ib.lo >= 1 lsl w
+                | _ -> ia.hi < ib.lo
+              in
+              if wraps then
+                emit
+                  (Always_wraps
+                     { cell = id; op = Cell.binary_op_name op })
+            | _ -> ()
+          end
+        | _ -> ());
+        (* NL012: any combinational cell whose entire output is pinned *)
+        if Cell.is_combinational cell && not (is_comparison cell) then begin
+          let y = Cell.output cell in
+          if all_definite st y then
+            emit
+              (Foldable
+                 {
+                   cell = id;
+                   width = Array.length y;
+                   value = definite st y;
+                 })
+        end
+      end)
+    (Circuit.cell_ids circuit);
+  List.rev !facts

@@ -1,0 +1,28 @@
+(** Cell-level facts proved by the fixpoint — the shared backend of the
+    semantic lint rules (NL010..NL013) and of [smartly analyze]'s
+    "facts" report section.
+
+    Cells whose inputs are all syntactic constants are skipped: those
+    belong to opt_expr / NL001, not to the value analysis. *)
+
+open Netlist
+
+type fact =
+  | Comparison_const of { cell : int; op : string; value : bool }
+      (** NL010: eq/ne/logic comparison with a provably constant result *)
+  | Dead_branch of { cell : int; branch : string }
+      (** NL011: a mux/pmux branch no select valuation can choose *)
+  | Foldable of { cell : int; width : int; value : int option }
+      (** NL012: every output bit definite; [value] when it fits an int *)
+  | Always_wraps of { cell : int; op : string }
+      (** NL013: add/sub that provably wraps on every input *)
+
+val fact_rule : fact -> string
+(** The lint rule id the fact backs (["NL010"]..["NL013"]). *)
+
+val fact_cell : fact -> int
+val fact_message : fact -> string
+val fact_to_json : fact -> Obs.Json.t
+
+val derive : Circuit.t -> Absval.state -> fact list
+(** Facts in ascending cell order. *)

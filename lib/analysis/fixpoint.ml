@@ -1,0 +1,414 @@
+(* The dataflow fixpoint: forward transfer functions over a topological
+   cell order, backward "assume" narrowing over the reverse order, swept
+   until nothing strengthens.
+
+   The forward pass is classic abstract interpretation of the cell
+   semantics (Eval's three-valued functions lifted to the two domains).
+   The backward pass is what makes path-condition refinement pay: a
+   seeded fact like "(a == 5) is true" narrows a's interval to [5,5],
+   "(|a) is true" lifts its lower bound to 1, and so on — consequences
+   the purely forward direction can never recover.
+
+   Soundness contract: the set of concrete executions compatible with the
+   seeds is always contained in the abstract state, so a definite bit is
+   a [Forced] verdict and [Bottom] is a dead path.  The analysis never
+   claims [Free]. *)
+
+open Netlist
+open Absval
+
+type outcome = { state : Absval.state; sweeps : int }
+type result = Converged of outcome | Contradiction
+
+(* --- forward transfer --- *)
+
+let slice_b (b : Bits.sigspec) i w = Array.sub b (i * w) w
+
+let eq_tern st (a : Bits.sigspec) (b : Bits.sigspec) : tern =
+  let w = Array.length a in
+  let established = ref true and refuted = ref false in
+  for i = 0 to w - 1 do
+    let ta = read st a.(i) and tb = read st b.(i) in
+    if Bits.bit_equal a.(i) b.(i) then ()
+    else if ta <> Top && tb <> Top then begin
+      if ta <> tb then refuted := true
+    end
+    else established := false
+  done;
+  if !refuted then Zero
+  else
+    match (get_itv st a, get_itv st b) with
+    | Some ia, Some ib when itv_disjoint ia ib -> Zero
+    | _ -> if !established then One else Top
+
+(* y = sum/difference bits via ternary ripple, plus the interval form *)
+let fwd_arith st ~sub (a : Bits.sigspec) (b : Bits.sigspec) (y : Bits.sigspec)
+    =
+  let w = Array.length y in
+  let carry = ref (if sub then Zero else Zero) in
+  for i = 0 to w - 1 do
+    let ta = read st a.(i) and tb = read st b.(i) in
+    let d = t_xor (t_xor ta tb) !carry in
+    refine_bit st y.(i) d;
+    carry :=
+      (if sub then t_maj (t_not ta) tb !carry else t_maj ta tb !carry)
+  done;
+  if w <= max_itv_width then
+    match (get_itv st a, get_itv st b) with
+    | Some ia, Some ib -> (
+      match (if sub then itv_sub else itv_add) w ia ib with
+      | Some v -> refine_itv st y v
+      | None -> ())
+    | _ -> ()
+
+let transfer st (cell : Cell.t) =
+  match cell with
+  | Cell.Dff _ -> () (* state is a source: top *)
+  | Cell.Unary { op; a; y } -> (
+    match op with
+    | Cell.Not ->
+      Array.iteri (fun i b -> refine_bit st y.(i) (t_not (read st b))) a
+    | Cell.Logic_not ->
+      if zero st a then refine_bit st y.(0) One
+      else if nonzero st a then refine_bit st y.(0) Zero
+    | Cell.Reduce_and ->
+      if Array.for_all (fun b -> read st b = One) a then
+        refine_bit st y.(0) One
+      else if Array.exists (fun b -> read st b = Zero) a then
+        refine_bit st y.(0) Zero
+    | Cell.Reduce_or | Cell.Reduce_bool ->
+      if nonzero st a then refine_bit st y.(0) One
+      else if zero st a then refine_bit st y.(0) Zero
+    | Cell.Reduce_xor ->
+      if all_definite st a then begin
+        let p = ref Zero in
+        Array.iter (fun b -> p := t_xor !p (read st b)) a;
+        refine_bit st y.(0) !p
+      end)
+  | Cell.Binary { op; a; b; y } -> (
+    let bitwise f itvf =
+      Array.iteri
+        (fun i yb -> refine_bit st yb (f (read st a.(i)) (read st b.(i))))
+        y;
+      match itvf with
+      | Some g -> (
+        match (get_itv st a, get_itv st b) with
+        | Some ia, Some ib -> refine_itv st y (g ia ib)
+        | _ -> ())
+      | None -> ()
+    in
+    match op with
+    | Cell.And -> bitwise t_and (Some itv_and)
+    | Cell.Or -> bitwise t_or (Some itv_or)
+    | Cell.Xor -> bitwise t_xor (Some itv_xor)
+    | Cell.Xnor -> bitwise t_xnor None
+    | Cell.Eq -> refine_bit st y.(0) (eq_tern st a b)
+    | Cell.Ne -> refine_bit st y.(0) (t_not (eq_tern st a b))
+    | Cell.Logic_and ->
+      if nonzero st a && nonzero st b then refine_bit st y.(0) One
+      else if zero st a || zero st b then refine_bit st y.(0) Zero
+    | Cell.Logic_or ->
+      if nonzero st a || nonzero st b then refine_bit st y.(0) One
+      else if zero st a && zero st b then refine_bit st y.(0) Zero
+    | Cell.Add -> fwd_arith st ~sub:false a b y
+    | Cell.Sub -> fwd_arith st ~sub:true a b y)
+  | Cell.Mux { a; b; s; y } -> (
+    match read st s with
+    | One ->
+      Array.iteri (fun i yb -> refine_bit st yb (read st b.(i))) y;
+      (match get_itv st b with Some v -> refine_itv st y v | None -> ())
+    | Zero ->
+      Array.iteri (fun i yb -> refine_bit st yb (read st a.(i))) y;
+      (match get_itv st a with Some v -> refine_itv st y v | None -> ())
+    | Top -> (
+      Array.iteri
+        (fun i yb -> refine_bit st yb (join (read st a.(i)) (read st b.(i))))
+        y;
+      match (get_itv st a, get_itv st b) with
+      | Some ia, Some ib ->
+        refine_itv st y { lo = min ia.lo ib.lo; hi = max ia.hi ib.hi }
+      | _ -> ()))
+  | Cell.Pmux { a; b; s; y } ->
+    let w = Array.length y and n = Array.length s in
+    let sel = read_vec st s in
+    (* branch i is live unless its select is 0 or a higher-priority
+       (lower-index) select is definitely 1; the default needs every
+       select off *)
+    let feasible = ref [] in
+    let blocked = ref false in
+    for i = 0 to n - 1 do
+      if (not !blocked) && sel.(i) <> Zero then
+        feasible := slice_b b i w :: !feasible;
+      if sel.(i) = One then blocked := true
+    done;
+    if not !blocked then feasible := a :: !feasible;
+    (match !feasible with
+    | [] -> () (* unreachable select pattern; nothing to assert *)
+    | first :: rest ->
+      Array.iteri
+        (fun i yb ->
+          let v =
+            List.fold_left
+              (fun acc br -> join acc (read st br.(i)))
+              (read st first.(i))
+              rest
+          in
+          refine_bit st yb v)
+        y;
+      let hull =
+        List.fold_left
+          (fun acc br ->
+            match (acc, get_itv st br) with
+            | Some h, Some v ->
+              Some { lo = min h.lo v.lo; hi = max h.hi v.hi }
+            | _ -> None)
+          (get_itv st first) rest
+      in
+      (match hull with Some v -> refine_itv st y v | None -> ()))
+
+(* --- backward narrowing ("assume" the outputs we know) --- *)
+
+(* remove a known-impossible point [c] from the interval of [s], which
+   only narrows when it sits on an endpoint *)
+let exclude_point st (s : Bits.sigspec) c =
+  match get_itv st s with
+  | Some v when v.lo = c && v.hi = c -> raise Bottom
+  | Some v when v.lo = c -> refine_itv st s { lo = c + 1; hi = v.hi }
+  | Some v when v.hi = c -> refine_itv st s { lo = v.lo; hi = c - 1 }
+  | _ -> ()
+
+let assume_nonzero st (s : Bits.sigspec) =
+  let w = Array.length s in
+  if w <= max_itv_width then refine_itv st s { lo = 1; hi = (1 lsl w) - 1 };
+  (* a single possibly-set bit must be the set one *)
+  let tops = ref [] and ones = ref 0 in
+  Array.iter
+    (fun b ->
+      match read st b with
+      | One -> incr ones
+      | Top -> tops := b :: !tops
+      | Zero -> ())
+    s;
+  if !ones = 0 then
+    match !tops with
+    | [] -> raise Bottom
+    | [ b ] -> refine_bit st b One
+    | _ -> ()
+
+let assume_zero st (s : Bits.sigspec) =
+  Array.iter (fun b -> refine_bit st b Zero) s
+
+let assume_eq st (a : Bits.sigspec) (b : Bits.sigspec) =
+  Array.iteri
+    (fun i ab ->
+      let ta = read st ab and tb = read st b.(i) in
+      let m = meet ta tb in
+      refine_bit st ab m;
+      refine_bit st b.(i) m)
+    a;
+  (match get_itv st b with Some v -> refine_itv st a v | None -> ());
+  match get_itv st a with Some v -> refine_itv st b v | None -> ()
+
+let assume_ne st (a : Bits.sigspec) (b : Bits.sigspec) =
+  (match definite st b with Some c -> exclude_point st a c | None -> ());
+  (match definite st a with Some c -> exclude_point st b c | None -> ());
+  (* all but one bit pair established equal: the leftover pair differs *)
+  let w = Array.length a in
+  let open_ = ref [] and refuted = ref false in
+  for i = 0 to w - 1 do
+    let ta = read st a.(i) and tb = read st b.(i) in
+    if Bits.bit_equal a.(i) b.(i) then ()
+    else if ta <> Top && tb <> Top then begin
+      if ta <> tb then refuted := true
+    end
+    else open_ := i :: !open_
+  done;
+  if not !refuted then
+    match !open_ with
+    | [] -> raise Bottom (* provably equal yet assumed unequal *)
+    | [ i ] -> (
+      match (read st a.(i), read st b.(i)) with
+      | Top, (Zero | One as tb) -> refine_bit st a.(i) (t_not tb)
+      | (Zero | One as ta), Top -> refine_bit st b.(i) (t_not ta)
+      | _ -> ())
+    | _ -> ()
+
+let narrow st (cell : Cell.t) =
+  match cell with
+  | Cell.Dff _ -> ()
+  | Cell.Unary { op; a; y } -> (
+    match op with
+    | Cell.Not ->
+      Array.iteri (fun i yb -> refine_bit st a.(i) (t_not (read st yb))) y
+    | Cell.Logic_not -> (
+      match read st y.(0) with
+      | One -> assume_zero st a
+      | Zero -> assume_nonzero st a
+      | Top -> ())
+    | Cell.Reduce_and -> (
+      match read st y.(0) with
+      | One -> Array.iter (fun b -> refine_bit st b One) a
+      | Zero ->
+        let w = Array.length a in
+        if w <= max_itv_width then
+          refine_itv st a { lo = 0; hi = (1 lsl w) - 2 };
+        (* a single possibly-clear bit must be the clear one *)
+        let tops = ref [] and zeros = ref 0 in
+        Array.iter
+          (fun b ->
+            match read st b with
+            | Zero -> incr zeros
+            | Top -> tops := b :: !tops
+            | One -> ())
+          a;
+        if !zeros = 0 then (
+          match !tops with
+          | [] -> raise Bottom
+          | [ b ] -> refine_bit st b Zero
+          | _ -> ())
+      | Top -> ())
+    | Cell.Reduce_or | Cell.Reduce_bool -> (
+      match read st y.(0) with
+      | One -> assume_nonzero st a
+      | Zero -> assume_zero st a
+      | Top -> ())
+    | Cell.Reduce_xor -> ())
+  | Cell.Binary { op; a; b; y } -> (
+    match op with
+    | Cell.And ->
+      Array.iteri
+        (fun i yb ->
+          match read st yb with
+          | One ->
+            refine_bit st a.(i) One;
+            refine_bit st b.(i) One
+          | Zero ->
+            if read st a.(i) = One then refine_bit st b.(i) Zero;
+            if read st b.(i) = One then refine_bit st a.(i) Zero
+          | Top -> ())
+        y
+    | Cell.Or ->
+      Array.iteri
+        (fun i yb ->
+          match read st yb with
+          | Zero ->
+            refine_bit st a.(i) Zero;
+            refine_bit st b.(i) Zero
+          | One ->
+            if read st a.(i) = Zero then refine_bit st b.(i) One;
+            if read st b.(i) = Zero then refine_bit st a.(i) One
+          | Top -> ())
+        y
+    | Cell.Xor ->
+      Array.iteri
+        (fun i yb ->
+          let ty = read st yb in
+          if ty <> Top then begin
+            if read st a.(i) <> Top then
+              refine_bit st b.(i) (t_xor ty (read st a.(i)));
+            if read st b.(i) <> Top then
+              refine_bit st a.(i) (t_xor ty (read st b.(i)))
+          end)
+        y
+    | Cell.Xnor ->
+      Array.iteri
+        (fun i yb ->
+          let ty = read st yb in
+          if ty <> Top then begin
+            if read st a.(i) <> Top then
+              refine_bit st b.(i) (t_xnor ty (read st a.(i)));
+            if read st b.(i) <> Top then
+              refine_bit st a.(i) (t_xnor ty (read st b.(i)))
+          end)
+        y
+    | Cell.Eq -> (
+      match read st y.(0) with
+      | One -> assume_eq st a b
+      | Zero -> assume_ne st a b
+      | Top -> ())
+    | Cell.Ne -> (
+      match read st y.(0) with
+      | One -> assume_ne st a b
+      | Zero -> assume_eq st a b
+      | Top -> ())
+    | Cell.Logic_and -> (
+      match read st y.(0) with
+      | One ->
+        assume_nonzero st a;
+        assume_nonzero st b
+      | Zero ->
+        if nonzero st a then assume_zero st b;
+        if nonzero st b then assume_zero st a
+      | Top -> ())
+    | Cell.Logic_or -> (
+      match read st y.(0) with
+      | Zero ->
+        assume_zero st a;
+        assume_zero st b
+      | One ->
+        if zero st a then assume_nonzero st b;
+        if zero st b then assume_nonzero st a
+      | Top -> ())
+    | Cell.Add | Cell.Sub -> ())
+  | Cell.Mux { a; b; s; y } -> (
+    (* the output disagreeing with a branch forces the select away *)
+    let w = Array.length y in
+    let differs br =
+      let d = ref false in
+      for i = 0 to w - 1 do
+        let ty = read st y.(i) and tb = read st br.(i) in
+        if ty <> Top && tb <> Top && ty <> tb then d := true
+      done;
+      !d
+    in
+    (match get_itv st y with
+    | Some iy ->
+      (match get_itv st a with
+      | Some ia when itv_disjoint iy ia -> refine_bit st s One
+      | _ -> ());
+      (match get_itv st b with
+      | Some ib when itv_disjoint iy ib -> refine_bit st s Zero
+      | _ -> ())
+    | None -> ());
+    if differs a then refine_bit st s One;
+    if differs b then refine_bit st s Zero;
+    match read st s with
+    | One -> assume_eq st y b
+    | Zero -> assume_eq st y a
+    | Top -> ())
+  | Cell.Pmux { a; b; s; y } -> (
+    (* when exactly one branch remains feasible, the output equals it *)
+    let w = Array.length y and n = Array.length s in
+    let sel = read_vec st s in
+    let feasible = ref [] in
+    let blocked = ref false in
+    for i = 0 to n - 1 do
+      if (not !blocked) && sel.(i) <> Zero then
+        feasible := slice_b b i w :: !feasible;
+      if sel.(i) = One then blocked := true
+    done;
+    if not !blocked then feasible := a :: !feasible;
+    match !feasible with [ only ] -> assume_eq st y only | _ -> ())
+
+(* --- the sweep loop --- *)
+
+let default_max_sweeps = 8
+
+let run ?(seeds = []) ?(max_sweeps = default_max_sweeps)
+    (circuit : Circuit.t) (cells : int list) : result =
+  let st = create () in
+  try
+    List.iter (fun (b, v) -> refine_bit st b (tern_of_bool v)) seeds;
+    let cell_list = List.map (Circuit.cell circuit) cells in
+    let rev_list = List.rev cell_list in
+    let sweeps = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !sweeps < max_sweeps do
+      st.dirty <- false;
+      incr sweeps;
+      List.iter (transfer st) cell_list;
+      List.iter (narrow st) rev_list;
+      if not st.dirty then continue_ := false
+    done;
+    Converged { state = st; sweeps = !sweeps }
+  with Bottom -> Contradiction

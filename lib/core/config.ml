@@ -12,6 +12,10 @@ type t = {
   sat_conflict_budget : int; (* conflict cap per SAT query *)
   max_subgraph_cells : int; (* forgo queries on larger sub-graphs *)
   enable_inference_rules : bool; (* Table I propagation *)
+  enable_analysis : bool;
+      (* abstract-interpretation rung zero (known-bits + intervals):
+         answers Forced/Unreachable before the memo/sim/SAT rungs when
+         the dataflow fixpoint pins the target; falls through on top *)
   enable_pruning : bool; (* Theorem II.1 sub-graph pruning *)
   enable_sat : bool; (* the SAT-based redundancy elimination *)
   enable_sat_session : bool;
@@ -42,6 +46,7 @@ let default =
     sat_conflict_budget = 4000;
     max_subgraph_cells = 600;
     enable_inference_rules = true;
+    enable_analysis = true;
     enable_pruning = true;
     enable_sat = true;
     enable_sat_session = true;

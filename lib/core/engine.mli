@@ -1,9 +1,12 @@
 (** The combined decision engine: is a signal forced under path facts?
 
-    Resolution ladder, exactly the paper's: direct lookup (the Yosys
-    identical-signal rule), inference rules, exhaustive bit-parallel
-    simulation when the pruned sub-graph has few free inputs, an
-    incremental SAT query otherwise, and a give-up threshold. *)
+    Resolution ladder, the paper's plus a static rung: direct lookup
+    (the Yosys identical-signal rule), inference rules, the
+    abstract-interpretation rung zero ({!Analysis.Fixpoint}: known-bits +
+    intervals, answering before the memo/sim/SAT rungs when the target's
+    abstract value is definite), exhaustive bit-parallel simulation when
+    the pruned sub-graph has few free inputs, an incremental SAT query
+    otherwise, and a give-up threshold. *)
 
 open Netlist
 
@@ -15,6 +18,10 @@ type verdict =
 
 type stats = {
   mutable rule_hits : int;
+  mutable analysis_hits : int;
+      (** verdicts answered by the abstract-interpretation rung zero *)
+  mutable analysis_queries : int;
+      (** rung-zero attempts (hits + falls through on top) *)
   mutable sim_queries : int;
   mutable sat_queries : int;
   mutable memo_hits : int;
@@ -37,14 +44,17 @@ val fresh_stats : unit -> stats
 type source =
   | Via_lookup  (** already known: the identical-signal rule *)
   | Via_rule of string  (** inference rule family that derived the value *)
+  | Via_analysis
+      (** abstract-interpretation rung zero: the known-bits + interval
+          fixpoint pinned the target (or proved the path dead) *)
   | Via_sim  (** exhaustive bit-parallel simulation *)
   | Via_sat of int  (** SAT query, carrying the query id *)
   | Via_memo  (** cross-query verdict cache hit *)
   | Via_forgone  (** thresholds exceeded; verdict is [Unknown] *)
 
 val source_name : source -> string
-(** ["lookup"], ["rule:or"], ["sim"], ["sat:42"], ["memo"],
-    ["forgone"]. *)
+(** ["lookup"], ["rule:or"], ["analysis"], ["sim"], ["sat:42"],
+    ["memo"], ["forgone"]. *)
 
 (** Per-SAT-query telemetry and a bounded buffer of the hardest queries
     (by conflicts), each with a self-contained DIMACS dump replayable by

@@ -62,6 +62,22 @@ let all =
     r "NL009" "combinational cycle" Netlist Diag.Error
       "combinational cells form a loop; the message names the cells on \
        one shortest cycle";
+    r "NL010" "comparison always constant" Netlist Diag.Warning
+      "the value analysis proves an eq/ne/logic cell always yields the \
+       same bit for every reachable input, so the comparison is \
+       vestigial: a constant (or its negation) replaces it";
+    r "NL011" "provably dead mux branch" Netlist Diag.Warning
+      "the value analysis proves a mux select constant, or a pmux branch \
+       unselectable for every reachable input (an earlier one-hot bit \
+       always wins, its select bit is always clear, or some select bit \
+       is always set so the default never runs)";
+    r "NL012" "constant-foldable cell" Netlist Diag.Info
+      "the value analysis pins every output bit of a combinational cell, \
+       so a constant replaces the whole cone feeding it";
+    r "NL013" "arithmetic always wraps" Netlist Diag.Warning
+      "the value analysis proves an add overflows its output width (or a \
+       sub borrows) on every reachable input; the result is always \
+       reduced modulo 2^width, which is rarely intended";
   ]
 
 let all = List.sort (fun a b -> String.compare a.id b.id) all

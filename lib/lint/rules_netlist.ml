@@ -4,7 +4,9 @@
    NL002  mux with identical branches, pmux with a duplicated select bit
    NL003  several eq cells comparing one signal against one constant
    NL004  module input that drives nothing (clock-named inputs exempt)
-   NL005..NL009  Validate issues bridged as errors *)
+   NL005..NL009  Validate issues bridged as errors
+   NL010..NL013  semantic rules backed by the value-analysis fixpoint
+                 (Analysis.Facts over the unseeded whole-circuit state) *)
 
 open Netlist
 
@@ -148,6 +150,34 @@ let check_floating_inputs emit (c : Circuit.t) =
              (Fmt.str "input '%s' drives nothing" w.Circuit.wire_name)))
     (Circuit.inputs c)
 
+(* --- semantic rules: NL010..NL013 --- *)
+
+(* The unseeded fixpoint proves facts that hold for EVERY input valuation,
+   so each diagnostic is a theorem about the design, not a heuristic.  A
+   cyclic netlist gets no semantic diagnostics — NL009 already fired for
+   it and the fixpoint needs a topological order. *)
+let check_semantic emit (c : Circuit.t) =
+  match Topo.sort c with
+  | exception Topo.Combinational_cycle _ -> ()
+  | cells -> (
+    match Analysis.Fixpoint.run c cells with
+    | Analysis.Fixpoint.Contradiction -> ()
+    | Analysis.Fixpoint.Converged o ->
+      List.iter
+        (fun fact ->
+          let rule = Analysis.Facts.fact_rule fact in
+          let cell = Analysis.Facts.fact_cell fact in
+          let msg = Analysis.Facts.fact_message fact in
+          let severity =
+            match fact with
+            | Analysis.Facts.Foldable _ -> Diag.Info
+            | Analysis.Facts.Comparison_const _
+            | Analysis.Facts.Dead_branch _ | Analysis.Facts.Always_wraps _ ->
+              Diag.Warning
+          in
+          emit (Diag.make ~cell ~rule ~severity msg))
+        (Analysis.Facts.derive c o.Analysis.Fixpoint.state))
+
 let structural (c : Circuit.t) : Diag.t list =
   let diags = ref [] in
   let emit d = diags := d :: !diags in
@@ -155,6 +185,7 @@ let structural (c : Circuit.t) : Diag.t list =
   check_dead_branches emit c;
   check_duplicate_eq emit c;
   check_floating_inputs emit c;
+  check_semantic emit c;
   Diag.sort (List.rev !diags)
 
 let check (c : Circuit.t) : Diag.t list =

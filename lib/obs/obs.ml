@@ -841,7 +841,7 @@ module Provenance = struct
      single match on a ref and records nothing, so instrumented passes pay
      nothing in normal runs. *)
 
-  type mechanism = Pruned | Rule of string | Sat | Memo | Restructure
+  type mechanism = Pruned | Rule of string | Sat | Memo | Analysis | Restructure
 
   type kind =
     | Cell_removed
@@ -912,6 +912,7 @@ module Provenance = struct
     | Rule r -> "rule:" ^ r
     | Sat -> "sat"
     | Memo -> "memo"
+    | Analysis -> "analysis"
     | Restructure -> "restructure"
 
   let mechanism_of_name s =
@@ -919,6 +920,7 @@ module Provenance = struct
     | "pruned" -> Some Pruned
     | "sat" -> Some Sat
     | "memo" -> Some Memo
+    | "analysis" -> Some Analysis
     | "restructure" -> Some Restructure
     | _ ->
       let prefix = "rule:" in

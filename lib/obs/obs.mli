@@ -289,6 +289,7 @@ module Provenance : sig
     | Rule of string  (** a named inference or folding rule *)
     | Sat  (** resolved by a SAT query *)
     | Memo  (** resolved by the cross-query verdict cache *)
+    | Analysis  (** resolved by the abstract-interpretation rung *)
     | Restructure  (** muxtree restructuring *)
 
   type kind =

@@ -467,6 +467,153 @@ let test_nl004_clock_exempt () =
   check_bool "clk exempt" false
     (has_rule "NL004" (Lint.Rules_netlist.structural c))
 
+(* --- NL010..NL013: semantic rules backed by the value analysis --- *)
+
+(* [a | 8] over 4 bits: interval [8, 15], MSB pinned to one — derived,
+   not syntactically constant, so the semantic rules (and not opt_expr's
+   territory) are what can see through it. *)
+let or_high c (w : Circuit.wire) =
+  Circuit.mk_binary c Cell.Or (Circuit.sig_of_wire w) (Bits.of_int ~width:4 8)
+
+let drive_output c name (s : Bits.sigspec) =
+  let out = Circuit.add_output c name ~width:(Array.length s) in
+  ignore
+    (Circuit.add_cell c
+       (Cell.Unary { op = Cell.Not; a = s; y = Circuit.sig_of_wire out }))
+
+let test_nl010_comparison_always_false () =
+  let c = Circuit.create "t" in
+  let a = Circuit.add_input c "a" ~width:4 in
+  let hi = or_high c a in
+  let e = Circuit.mk_binary c Cell.Eq hi (Bits.of_int ~width:4 0) in
+  drive_output c "y" e;
+  let ds = Lint.Rules_netlist.structural c in
+  let d = find_rule "NL010" ds in
+  check_bool "warning severity" true (d.Lint.Diag.severity = Lint.Diag.Warning);
+  check_bool "says false" true (contains d.Lint.Diag.message "false")
+
+let test_nl010_negative_free_comparison () =
+  let c = Circuit.create "t" in
+  let a = Circuit.add_input c "a" ~width:4 in
+  let e = Circuit.mk_binary c Cell.Eq (Circuit.sig_of_wire a)
+      (Bits.of_int ~width:4 3)
+  in
+  drive_output c "y" e;
+  check_bool "free comparison quiet" false
+    (has_rule "NL010" (Lint.Rules_netlist.structural c))
+
+let test_nl011_dead_mux_branch () =
+  let c = Circuit.create "t" in
+  let a = Circuit.add_input c "a" ~width:4 in
+  let p = Circuit.add_input c "p" ~width:1 in
+  let q = Circuit.add_input c "q" ~width:1 in
+  (* reduce_or of [a | 8] is provably one: the b branch always wins *)
+  let s = Circuit.mk_unary c Cell.Reduce_or (or_high c a) in
+  let y =
+    Circuit.mk_mux c
+      ~a:(Circuit.sig_of_wire p)
+      ~b:(Circuit.sig_of_wire q)
+      ~s:s.(0)
+  in
+  drive_output c "y" y;
+  let ds = Lint.Rules_netlist.structural c in
+  check_bool "flagged" true (has_rule "NL011" ds)
+
+let test_nl011_dead_pmux_default () =
+  let c = Circuit.create "t" in
+  let a = Circuit.add_input c "a" ~width:4 in
+  let p = Circuit.add_input c "p" ~width:1 in
+  let q = Circuit.add_input c "q" ~width:1 in
+  let s = Circuit.mk_unary c Cell.Reduce_or (or_high c a) in
+  let y =
+    Circuit.mk_pmux c
+      ~a:(Circuit.sig_of_wire p)
+      ~b:(Circuit.sig_of_wire q)
+      ~s:[| s.(0) |]
+  in
+  drive_output c "y" y;
+  let ds = Lint.Rules_netlist.structural c in
+  let d = find_rule "NL011" ds in
+  check_bool "names the default" true (contains d.Lint.Diag.message "default")
+
+let test_nl011_negative_free_select () =
+  let c = Circuit.create "t" in
+  let p = Circuit.add_input c "p" ~width:1 in
+  let q = Circuit.add_input c "q" ~width:1 in
+  let s = Circuit.add_input c "s" ~width:1 in
+  let y =
+    Circuit.mk_mux c
+      ~a:(Circuit.sig_of_wire p)
+      ~b:(Circuit.sig_of_wire q)
+      ~s:(Circuit.bit_of_wire s)
+  in
+  drive_output c "y" y;
+  check_bool "free select quiet" false
+    (has_rule "NL011" (Lint.Rules_netlist.structural c))
+
+let test_nl012_foldable_cell () =
+  let c = Circuit.create "t" in
+  let a = Circuit.add_input c "a" ~width:4 in
+  (* a & 0 is zero for every a, but the cell's inputs are not all
+     syntactic constants, so this is the analysis' catch, not NL001's *)
+  let y =
+    Circuit.mk_binary c Cell.And (Circuit.sig_of_wire a)
+      (Bits.of_int ~width:4 0)
+  in
+  drive_output c "y" y;
+  let ds = Lint.Rules_netlist.structural c in
+  let d = find_rule "NL012" ds in
+  check_bool "info severity" true (d.Lint.Diag.severity = Lint.Diag.Info);
+  check_bool "names the value" true (contains d.Lint.Diag.message "0")
+
+let test_nl012_negative_free_cell () =
+  let c = Circuit.create "t" in
+  let a = Circuit.add_input c "a" ~width:4 in
+  let b = Circuit.add_input c "b" ~width:4 in
+  let y =
+    Circuit.mk_binary c Cell.And (Circuit.sig_of_wire a)
+      (Circuit.sig_of_wire b)
+  in
+  drive_output c "y" y;
+  check_bool "free cell quiet" false
+    (has_rule "NL012" (Lint.Rules_netlist.structural c))
+
+let test_nl013_add_always_wraps () =
+  let c = Circuit.create "t" in
+  let a = Circuit.add_input c "a" ~width:4 in
+  let b = Circuit.add_input c "b" ~width:4 in
+  (* [8,15] + [8,15] is at least 16: wraps for every input *)
+  let y = Circuit.mk_binary c Cell.Add (or_high c a) (or_high c b) in
+  drive_output c "y" y;
+  let ds = Lint.Rules_netlist.structural c in
+  let d = find_rule "NL013" ds in
+  check_bool "warning severity" true (d.Lint.Diag.severity = Lint.Diag.Warning)
+
+let test_nl013_sub_always_borrows () =
+  let c = Circuit.create "t" in
+  let a = Circuit.add_input c "a" ~width:4 in
+  let b = Circuit.add_input c "b" ~width:4 in
+  let small =
+    Circuit.mk_binary c Cell.And (Circuit.sig_of_wire a)
+      (Bits.of_int ~width:4 7)
+  in
+  (* [0,7] - [8,15] borrows for every input *)
+  let y = Circuit.mk_binary c Cell.Sub small (or_high c b) in
+  drive_output c "y" y;
+  check_bool "flagged" true (has_rule "NL013" (Lint.Rules_netlist.structural c))
+
+let test_nl013_negative_free_add () =
+  let c = Circuit.create "t" in
+  let a = Circuit.add_input c "a" ~width:4 in
+  let b = Circuit.add_input c "b" ~width:4 in
+  let y =
+    Circuit.mk_binary c Cell.Add (Circuit.sig_of_wire a)
+      (Circuit.sig_of_wire b)
+  in
+  drive_output c "y" y;
+  check_bool "free add quiet" false
+    (has_rule "NL013" (Lint.Rules_netlist.structural c))
+
 let test_validate_bridge_rules () =
   (* a combinational loop: bridged as an NL009 error with a witness *)
   let c = Circuit.create "cyc" in
@@ -710,6 +857,25 @@ let () =
             test_nl003_negative_different_consts;
           Alcotest.test_case "floating input" `Quick test_nl004_floating_input;
           Alcotest.test_case "clock exempt" `Quick test_nl004_clock_exempt;
+          Alcotest.test_case "comparison always false" `Quick
+            test_nl010_comparison_always_false;
+          Alcotest.test_case "free comparison quiet" `Quick
+            test_nl010_negative_free_comparison;
+          Alcotest.test_case "dead mux branch" `Quick
+            test_nl011_dead_mux_branch;
+          Alcotest.test_case "dead pmux default" `Quick
+            test_nl011_dead_pmux_default;
+          Alcotest.test_case "free select quiet" `Quick
+            test_nl011_negative_free_select;
+          Alcotest.test_case "foldable cell" `Quick test_nl012_foldable_cell;
+          Alcotest.test_case "free cell quiet" `Quick
+            test_nl012_negative_free_cell;
+          Alcotest.test_case "add always wraps" `Quick
+            test_nl013_add_always_wraps;
+          Alcotest.test_case "sub always borrows" `Quick
+            test_nl013_sub_always_borrows;
+          Alcotest.test_case "free add quiet" `Quick
+            test_nl013_negative_free_add;
           Alcotest.test_case "validate bridge" `Quick test_validate_bridge_rules;
           Alcotest.test_case "clean circuit quiet" `Quick
             test_clean_circuit_is_quiet;

@@ -70,7 +70,7 @@ let test_mechanism_names () =
   let mechs =
     [
       Obs.Provenance.Pruned; Obs.Provenance.Rule "x"; Obs.Provenance.Sat;
-      Obs.Provenance.Restructure;
+      Obs.Provenance.Restructure; Obs.Provenance.Analysis;
     ]
   in
   List.iter
