@@ -45,6 +45,8 @@ bench-check: build
 	dune exec bench/main.exe -- table2 mux_chain --check --no-sat-memo \
 	  --no-analysis --baseline-dir bench/baselines/noanalysis \
 	  --threshold-scale 4 --report /tmp/smartly_bench_diff_noanalysis.txt
+	dune exec bench/main.exe -- jobs_per_sec --check \
+	  --threshold-scale 4 --report /tmp/smartly_bench_diff_jobs.txt
 	@if dune exec bench/main.exe -- mux_chain --check --pessimize \
 	    --report /tmp/smartly_bench_pessimized.txt >/dev/null 2>&1; then \
 	  echo "bench-check: BROKEN GATE — pessimized run passed"; exit 1; \
@@ -52,23 +54,25 @@ bench-check: build
 	  echo "bench-check: gate self-test ok (pessimized run failed as it must)"; \
 	fi
 
-# Refresh every committed baseline.  The heavy sections run once (their
-# deterministic metrics don't need repetitions and table2 alone takes
-# minutes); the fast mux_chain section runs three times so its timing
-# medians are meaningful.  Baselines are recorded with --no-sat-memo:
-# the verdict cache off makes every SAT counter deterministic and
-# exactly reproducible by the memo-off gate leg, and the default
-# (memo-on) gate leg must then beat them rather than merely match.
+# Refresh every committed baseline.  Every section runs three times so
+# the wall-clock medians are meaningful (deterministic metrics are
+# rep-invariant, so the repetitions cost only time).  Baselines are
+# recorded with --no-sat-memo: the verdict cache off makes every SAT
+# counter deterministic and exactly reproducible by the memo-off gate
+# leg, and the default (memo-on) gate leg must then beat them rather
+# than merely match.  The jobs_per_sec section manages its own cache
+# state (cold vs warm is its subject) and so records without the flag.
 # Commit the resulting bench/baselines/*.json together with the change
 # that moved the numbers.
 bench-baselines: build
 	dune exec bench/main.exe -- table2 table3 industrial \
-	  --update-baselines --no-sat-memo --reps 1
+	  --update-baselines --no-sat-memo --reps 3
 	dune exec bench/main.exe -- mux_chain --update-baselines --no-sat-memo \
 	  --reps 3
+	dune exec bench/main.exe -- jobs_per_sec --update-baselines --reps 3
 	dune exec bench/main.exe -- table2 table3 industrial \
 	  --update-baselines --no-sat-memo --no-analysis \
-	  --baseline-dir bench/baselines/noanalysis --reps 1
+	  --baseline-dir bench/baselines/noanalysis --reps 3
 	dune exec bench/main.exe -- mux_chain --update-baselines --no-sat-memo \
 	  --no-analysis --baseline-dir bench/baselines/noanalysis --reps 3
 
@@ -90,7 +94,13 @@ bench-baselines: build
 # NL010..NL013 rules and the engine's rung zero use, exercised on real
 # sources rather than profiles.  The mux_chain
 # optimization is re-run under --check-invariants, which validates,
-# lints and equivalence-checks the circuit after every pass.  Finally
+# lints and equivalence-checks the circuit after every pass, and then
+# once more on the sharded task path (--jobs 2) with the full
+# equivalence check, proving the parallel scheduler's netlist against
+# the original.  A serve smoke follows: a 4-line JSONL batch (two
+# identical jobs, one sharded, one shutdown) through the stdio daemon,
+# with the per-job smartly-report-v1 stream kept as an artifact and
+# parse-validated.  Finally
 # the run-ledger surface: a deliberately budget-starved run (1 ms per
 # pass) must still exit 0 with its netlist equivalence-checking — the
 # watchdog degrades, never crashes — and `smartly report` must render
@@ -112,6 +122,17 @@ ci: build
 	  /tmp/smartly_analysis_priority_select.json
 	dune exec bin/smartly_cli.exe -- opt mux_chain --flow smartly \
 	  --check-invariants
+	dune exec bin/smartly_cli.exe -- opt mux_chain --flow smartly \
+	  --jobs 2 --check --check-invariants
+	printf '%s\n' \
+	  '{"op":"optimize","id":"ci-1","kind":"profile","source":"mux_chain"}' \
+	  '{"op":"optimize","id":"ci-2","kind":"profile","source":"mux_chain"}' \
+	  '{"op":"optimize","id":"ci-3","kind":"profile","source":"riscv","jobs":2}' \
+	  '{"op":"shutdown"}' \
+	  | dune exec bin/smartly_cli.exe -- serve \
+	  > /tmp/smartly_serve_reports.jsonl
+	dune exec bin/smartly_cli.exe -- validate-json \
+	  /tmp/smartly_serve_reports.jsonl
 	dune exec bin/smartly_cli.exe -- opt mux_chain --flow smartly \
 	  --json --trace /tmp/smartly_trace.json \
 	  --provenance /tmp/smartly_prov.jsonl \

@@ -5,6 +5,8 @@
      table3     — Table III: SAT-only / Rebuild-only / Full reductions
      industrial — Section IV-B: the mux-rich industrial benchmark
      mux_chain  — the seconds-fast smoke profile (CI regression gate)
+     jobs_per_sec — batch throughput: warm cross-job memo (the serve
+                  model) at --jobs 2/4 vs cold per-job state at --jobs 1
      figures    — Figs. 1/2/3/5/6/7 and the Listing-2 assignment claim
      ablation   — design-choice sweeps (distance k, pruning, rules, ...)
      timing     — Bechamel micro-benchmarks of the passes
@@ -583,6 +585,153 @@ let mux_chain () =
   counters_table results;
   emit_doc "mux_chain" (List.map full_case results)
 
+(* --- jobs_per_sec: batch throughput, serve model vs process-per-job --- *)
+
+(* A batch the serve daemon would see: design variants (one per seed),
+   each stamped out several times — regenerating unchanged sources is
+   the normal shape of a re-run EDA batch.  Warm batch mode answers the
+   stamped copies from the cross-job caches: recurring queries from the
+   verdict memo, recurring muxtree tasks from the task-replay cache.
+   Generation happens once, outside every timed region. *)
+let batch_corpus =
+  lazy
+    (let mk seed copy =
+       let p =
+         {
+           Workloads.Profiles.name =
+             Printf.sprintf "batch_s%02d_c%d" seed copy;
+           seed;
+           style = `Pmux;
+           repeat = 2;
+           mix =
+             Workloads.Profiles.
+               [
+                 Crossbar_port { n_grants = 16; width = 8 };
+                 Correlated_ifs { depth = 7; width = 8 };
+                 Correlated_ifs { depth = 6; width = 8 };
+               ];
+           register_fraction = 5;
+         }
+       in
+       p.Workloads.Profiles.name, Workloads.Profiles.circuit p
+     in
+     List.concat_map
+       (fun seed -> List.map (mk seed) [ 0; 1; 2; 3 ])
+       [ 21; 22; 23 ])
+
+let jobs_per_sec () =
+  print_endline "";
+  print_endline
+    "Batch throughput (jobs/s): warm cross-job memo (the serve model) vs \
+     cold per-job state";
+  let corpus = Lazy.force batch_corpus in
+  let n_jobs = List.length corpus in
+  (* the section's subject is the warm-memo batch mode, so the memo stays
+     on regardless of --no-sat-memo (which scopes the table2/table3
+     baseline-recording convention, not this section) *)
+  let cfg n =
+    {
+      Smartly.Config.default with
+      Smartly.Config.jobs = Some n;
+      enable_sat_memo = true;
+    }
+  in
+  (* [warm]: one memo store and one task-replay store for the whole
+     batch — the daemon's state model; cold resets per job, the
+     one-process-per-job reference.  Warmth builds *within* a batch
+     (each timed rep starts from fresh stores), so reps are i.i.d.
+     Both modes run the task path ({!Smartly.Sat_elim.run_tasks}),
+     whose frozen-snapshot semantics make the areas independent of the
+     worker count and of cache state by construction — so any area
+     disagreement below is a real bug, not schedule noise. *)
+  let run_batch ~warm n () =
+    if warm then begin
+      Smartly.Memo.reset ();
+      Smartly.Replay.install (Smartly.Replay.make ())
+    end;
+    List.map
+      (fun (_, c0) ->
+        if not warm then reset_instruments ();
+        let c = Circuit.copy c0 in
+        if not !pessimize then ignore (Smartly.Driver.smartly ~cfg:(cfg n) c);
+        Aiger.Aigmap.aig_area c)
+      corpus
+  in
+  let prepare ~warm () =
+    reset_instruments ();
+    if not warm then Smartly.Replay.uninstall ()
+  in
+  let measure ~warm n =
+    Perf.Measure.repeat ~reps:!reps ~prepare:(prepare ~warm)
+      (run_batch ~warm n)
+  in
+  let areas1, t1 = measure ~warm:false 1 in
+  let areas2, t2 = measure ~warm:true 2 in
+  let areas4, t4 = measure ~warm:true 4 in
+  Smartly.Replay.uninstall ();
+  let jps (t : Perf.Measure.timed) =
+    let m = t.Perf.Measure.wall.Perf.Stat.median in
+    if m <= 0.0 then 0.0 else float_of_int n_jobs /. m
+  in
+  let speedup =
+    let m4 = t4.Perf.Measure.wall.Perf.Stat.median in
+    if m4 <= 0.0 then 0.0 else t1.Perf.Measure.wall.Perf.Stat.median /. m4
+  in
+  let total = List.fold_left ( + ) 0 in
+  let equal = areas1 = areas2 && areas2 = areas4 in
+  Report.Table.print
+    ~columns:
+      [ left "Mode"; right "jobs"; right "batch t"; right "jobs/s";
+        right "area total" ]
+    ~rows:
+      (List.map
+         (fun (mode, n, t, areas) ->
+           [
+             mode;
+             string_of_int n;
+             Report.Table.secs t.Perf.Measure.wall.Perf.Stat.median;
+             Printf.sprintf "%.2f" (jps t);
+             string_of_int (total areas);
+           ])
+         [
+           "cold per-job", 1, t1, areas1;
+           "warm batch", 2, t2, areas2;
+           "warm batch", 4, t4, areas4;
+         ]);
+  Printf.printf
+    "speedup (--jobs 4 warm vs --jobs 1 cold): %.2fx   areas identical \
+     across modes: %s\n"
+    speedup
+    (if equal then "yes" else "NO — DETERMINISM BUG");
+  let metrics =
+    Perf.Schema.
+      [
+        timing ~name:"t_batch_j1_cold" t1.Perf.Measure.wall;
+        timing ~name:"t_batch_j2_warm" t2.Perf.Measure.wall;
+        timing ~name:"t_batch_j4_warm" t4.Perf.Measure.wall;
+        (* jobs/s and the headline speedup are Time-kind (banded): they
+           are ratios of wall clocks, exactly as noisy as the clocks *)
+        scalar ~direction:Higher_better ~name:"jps_j1_cold" ~kind:Time
+          (jps t1);
+        scalar ~direction:Higher_better ~name:"jps_j2_warm" ~kind:Time
+          (jps t2);
+        scalar ~direction:Higher_better ~name:"jps_j4_warm" ~kind:Time
+          (jps t4);
+        scalar ~direction:Higher_better ~name:"speedup_j4_vs_j1" ~kind:Time
+          speedup;
+        (* deterministic: exact-compare the batch areas of every mode and
+           the corpus shape, so a determinism break or a silent corpus
+           change fails the gate even if the timings absorb it *)
+        scalar ~name:"batch_area_total_j1" ~kind:Area (f (total areas1));
+        scalar ~name:"batch_area_total_j2" ~kind:Area (f (total areas2));
+        scalar ~name:"batch_area_total_j4" ~kind:Area (f (total areas4));
+        scalar ~direction:Higher_better ~name:"areas_equal" ~kind:Count
+          (if equal then 1.0 else 0.0);
+        scalar ~name:"corpus_jobs" ~kind:Count (f n_jobs);
+      ]
+  in
+  emit_doc "jobs_per_sec" [ { Perf.Schema.name = "corpus"; metrics } ]
+
 (* --- Figures --- *)
 
 let expose c name (v : Bits.sigspec) =
@@ -885,7 +1034,8 @@ let usage () =
     \             [--report FILE] [--pessimize] [--no-sat-memo]\n\
     \             [--no-analysis] [--no-ledger] [--ledger-root DIR]\n\
     \             [--progress]\n\
-     sections: table2 table3 industrial mux_chain figures ablation timing all";
+     sections: table2 table3 industrial mux_chain jobs_per_sec figures\n\
+    \          ablation timing all";
   exit 2
 
 let () =
@@ -996,6 +1146,7 @@ let () =
       | "table3" -> table3 ()
       | "industrial" -> industrial ()
       | "mux_chain" -> mux_chain ()
+      | "jobs_per_sec" -> jobs_per_sec ()
       | "figures" -> figures ()
       | "ablation" -> ablation ()
       | "timing" -> timing ()
@@ -1004,6 +1155,7 @@ let () =
         table3 ();
         industrial ();
         mux_chain ();
+        jobs_per_sec ();
         figures ();
         ablation ();
         timing ()

@@ -11,6 +11,9 @@
    smartly lint SRC... [--json] [--werror] [--waive RULES]
                                           static analysis: AST rules + netlist rules;
                                           --list-rules prints the registry
+   smartly serve [--socket PATH]          batch daemon: JSONL jobs in, one
+                                          smartly-report-v1 per job out, warm
+                                          cross-job memo store
 
    SRC is either a built-in profile name or a path to a Verilog file in the
    supported subset.
@@ -186,6 +189,28 @@ let pass_alloc_budget_mw_arg =
         ~doc:
           "Allocation budget per pass in millions of words; same graceful \
            degradation as $(b,--pass-budget-ms).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Shard independent muxtrees across N worker domains \
+           (smartly-family flows).  The final netlist and the merged \
+           telemetry are byte-identical for every N; without the flag \
+           the legacy in-place sequential walk runs instead.")
+
+let portfolio_arg =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:
+          "Race solver configurations (budgeted CDCL vs a fresh \
+           simulation-first ladder) on SAT queries the hardest-query \
+           ring flags as hard.  Opt-in: the netlist is unchanged but \
+           solver telemetry (conflict counts, hardest-query ranking) \
+           becomes schedule-dependent.")
 
 let progress_arg =
   Arg.(
@@ -429,7 +454,8 @@ let flow_name = function
 
 let run_flow ?after_pass ?(sat_memo = true) ?(sat_session = true)
     ?(analysis = true) ?(pass_budget_ms = None) ?(pass_alloc_budget_mw = None)
-    flow (c : Netlist.Circuit.t) : outcome =
+    ?(jobs = None) ?(portfolio = false) flow (c : Netlist.Circuit.t) : outcome
+    =
   match flow with
   | `None -> O_none
   | `Yosys -> O_yosys (Smartly.Driver.yosys ?after_pass c)
@@ -448,6 +474,8 @@ let run_flow ?after_pass ?(sat_memo = true) ?(sat_session = true)
         enable_analysis = analysis;
         pass_budget_ms;
         pass_alloc_budget_mw;
+        jobs;
+        portfolio;
       }
     in
     O_smartly (Smartly.Driver.smartly ~cfg ?after_pass c)
@@ -671,7 +699,8 @@ let flight_extra () =
 let opt_cmd =
   let run src style flow check verbose trace json provenance sat_dump
       check_invariants no_sat_memo no_analysis sat_session no_ledger
-      ledger_root pass_budget_ms pass_alloc_budget_mw progress =
+      ledger_root pass_budget_ms pass_alloc_budget_mw jobs portfolio progress
+      =
     let c = load_circuit ~style src in
     let orig = Netlist.Circuit.copy c in
     let invariants =
@@ -757,7 +786,7 @@ let opt_cmd =
       try
         run_flow ?after_pass ~sat_memo:(not no_sat_memo) ~sat_session
           ~analysis:(not no_analysis) ~pass_budget_ms ~pass_alloc_budget_mw
-          flow c
+          ~jobs ~portfolio flow c
       with e ->
         (match ledger with
         | Some l ->
@@ -932,7 +961,7 @@ let opt_cmd =
       $ trace_arg $ json_arg $ provenance_arg $ sat_dump_arg
       $ check_invariants_arg $ no_sat_memo_arg $ no_analysis_arg
       $ sat_session_arg $ no_ledger_arg $ ledger_root_arg $ pass_budget_ms_arg
-      $ pass_alloc_budget_mw_arg $ progress_arg)
+      $ pass_alloc_budget_mw_arg $ jobs_arg $ portfolio_arg $ progress_arg)
 
 let write_verilog_cmd =
   let out_arg =
@@ -1706,6 +1735,86 @@ let report_cmd =
           mid-pass, whose torn event stream is recovered and reported.")
     Term.(const run $ target_arg $ ledger_root_arg $ json_arg)
 
+(* --- serve: batch optimization daemon --- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at PATH instead of serving \
+             stdio.  Connections are accepted and served one at a time; \
+             the warm memo store is shared across all of them.  An \
+             existing socket file at PATH is replaced.")
+  in
+  let budget_ms_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-pass wall budget (the watchdog of smartly opt's \
+             --budget-ms) for jobs whose request carries no budget_ms \
+             field.")
+  in
+  let run style socket jobs portfolio budget_ms =
+    let load ~kind source =
+      match kind with
+      | "profile" | "verilog" | "auto" -> (
+        try Ok (load_circuit ~style source) with
+        | Failure msg -> Error msg
+        | e -> Error (Printexc.to_string e))
+      | k -> Error (Printf.sprintf "unknown kind %S" k)
+    in
+    let cfg =
+      {
+        Smartly.Config.default with
+        jobs;
+        portfolio;
+        pass_budget_ms = budget_ms;
+      }
+    in
+    let daemon = Smartly.Serve.create ~cfg ~load () in
+    match socket with
+    | None -> ignore (Smartly.Serve.run daemon stdin stdout)
+    | Some path ->
+      if Sys.file_exists path then Sys.remove path;
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      Printf.eprintf "serve: listening on %s\n%!" path;
+      let rec accept_loop () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let shutdown =
+          try Smartly.Serve.run daemon ic oc with _ -> false
+        in
+        (* ic and oc share the descriptor: closing ic closes both *)
+        (try close_in ic with _ -> ());
+        if not shutdown then accept_loop ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          try Sys.remove path with Sys_error _ -> ())
+        accept_loop
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batch optimization daemon: one JSON request per line \
+          (op optimize/ping/stats/shutdown), one smartly-report-v1 \
+          response per job, over stdio or a Unix socket.  A single warm \
+          cross-job memo store persists for the daemon's lifetime, so \
+          structurally recurring queries in a batch are answered from \
+          cache instead of re-solved.")
+    Term.(
+      const run $ style_arg $ socket_arg $ jobs_arg $ portfolio_arg
+      $ budget_ms_arg)
+
 let main_cmd =
   let doc = "smaRTLy: RTL muxtree optimization (DAC'25 reproduction)" in
   Cmd.group
@@ -1714,7 +1823,7 @@ let main_cmd =
       list_cmd; generate_cmd; stats_cmd; analyze_cmd; opt_cmd; cec_cmd;
       dump_cmd;
       write_verilog_cmd; explain_cmd; replay_cmd; validate_json_cmd; lint_cmd;
-      bench_diff_cmd; report_cmd;
+      bench_diff_cmd; report_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,6 +1,6 @@
 (* Per-pass resource watchdog.
 
-   Process-global, like the metrics registry and the SAT log: the driver
+   Domain-local, like the metrics registry and the SAT log: the driver
    arms it before each pass with the configured wall-time / allocation
    limits, the expensive inner loops (the Engine sim-vs-SAT ladder, the
    Restructure root walk) poll [exhausted] and degrade gracefully —
@@ -32,19 +32,22 @@ type armed = {
   mutable a_truncated : int;
 }
 
-let state : armed option ref = ref None
+(* Domain-local: each scheduler worker polls (and trips) its own armed
+   record; trip/truncation flags are folded back into the coordinator's
+   at the join barrier ([merge_worker]). *)
+let state : armed option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let m_exceeded = Obs.Metrics.counter "budget.exceeded"
 let m_truncated = Obs.Metrics.counter "budget.truncated"
 
 let arm ?(cfg = Config.default) ~pass () =
   match cfg.Config.pass_budget_ms, cfg.Config.pass_alloc_budget_mw with
-  | None, None -> state := None
+  | None, None -> Domain.DLS.set state None
   | wall_ms, alloc_mw ->
     let now = Obs.Clock.now_ns () in
     let words = Gc.minor_words () in
-    state :=
-      Some
+    Domain.DLS.set state
+      @@ Some
         {
           a_pass = pass;
           a_deadline =
@@ -58,10 +61,10 @@ let arm ?(cfg = Config.default) ~pass () =
           a_truncated = 0;
         }
 
-let armed () = !state <> None
+let armed () = Domain.DLS.get state <> None
 
 let exhausted () =
-  match !state with
+  match Domain.DLS.get state with
   | None -> false
   | Some a ->
     a.a_tripped
@@ -83,17 +86,17 @@ let exhausted () =
        end
 
 let note_truncation () =
-  match !state with
+  match Domain.DLS.get state with
   | None -> ()
   | Some a ->
     a.a_truncated <- a.a_truncated + 1;
     Obs.Metrics.incr m_truncated
 
 let disarm () =
-  match !state with
+  match Domain.DLS.get state with
   | None -> None
   | Some a ->
-    state := None;
+    Domain.DLS.set state None;
     if not a.a_tripped then None
     else begin
       let cfg_ms =
@@ -118,7 +121,81 @@ let disarm () =
         }
     end
 
-let reset () = state := None
+let reset () = Domain.DLS.set state None
+
+(* --- worker propagation --- *)
+
+type inherited = {
+  i_pass : string;
+  i_deadline : int64 option;
+  i_alloc_mw : float option; (* remaining allowance, millions of words *)
+}
+
+(* Snapshot the armed budget for a worker domain.  The wall deadline is
+   an absolute monotonic-clock reading, valid process-wide; the
+   allocation limit is in the arming domain's (domain-local)
+   [Gc.minor_words] units, so it travels as the remaining allowance and
+   each worker re-anchors it on its own counter — every worker gets the
+   full remaining allowance rather than a share, which only makes the
+   watchdog more permissive, never spuriously strict. *)
+let snapshot () : inherited option =
+  match Domain.DLS.get state with
+  | None -> None
+  | Some a ->
+    Some
+      {
+        i_pass = a.a_pass;
+        i_deadline = a.a_deadline;
+        i_alloc_mw =
+          Option.map
+            (fun limit -> Float.max 0.0 (limit -. Gc.minor_words ()) /. 1e6)
+            a.a_alloc_limit;
+      }
+
+let adopt (i : inherited option) =
+  match i with
+  | None -> Domain.DLS.set state None
+  | Some i ->
+    let words = Gc.minor_words () in
+    Domain.DLS.set state
+      @@ Some
+        {
+          a_pass = i.i_pass;
+          a_deadline = i.i_deadline;
+          a_alloc_limit =
+            Option.map (fun mw -> words +. (mw *. 1e6)) i.i_alloc_mw;
+          a_start_ns = Obs.Clock.now_ns ();
+          a_start_words = words;
+          a_tripped = false;
+          a_truncated = 0;
+        }
+
+(* Displace/restore the armed state around an inline task on the
+   coordinator itself. *)
+type saved = armed option
+
+let save () : saved = Domain.DLS.get state
+let restore (s : saved) = Domain.DLS.set state s
+
+type worker_outcome = { w_tripped : bool; w_truncated : int }
+
+let capture_worker () : worker_outcome =
+  match Domain.DLS.get state with
+  | None -> { w_tripped = false; w_truncated = 0 }
+  | Some a ->
+    Domain.DLS.set state None;
+    { w_tripped = a.a_tripped; w_truncated = a.a_truncated }
+
+(* Fold a worker's verdict into the coordinator's armed record, so the
+   pass-level overrun report covers truncations that happened on any
+   domain.  The worker already bumped the exceeded/truncated metrics in
+   its own scope. *)
+let merge_worker (w : worker_outcome) =
+  match Domain.DLS.get state with
+  | None -> ()
+  | Some a ->
+    if w.w_tripped then a.a_tripped <- true;
+    a.a_truncated <- a.a_truncated + w.w_truncated
 
 let overrun_to_json (o : overrun) : Obs.Json.t
     =

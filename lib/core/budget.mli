@@ -1,7 +1,7 @@
 (** Per-pass resource watchdog: wall-time and allocation budgets with
     graceful degradation.
 
-    Process-global like {!Obs.Metrics} and {!Engine.Sat_log}.  The
+    Domain-local like {!Obs.Metrics} and {!Engine.Sat_log}.  The
     driver {!arm}s it before each pass from the {!Config} budgets; the
     expensive inner loops poll {!exhausted} and abandon remaining work
     items (forgone SAT queries, skipped muxtree roots) once it trips;
@@ -40,3 +40,37 @@ val reset : unit -> unit
 (** Forget any armed state (test scoping). *)
 
 val overrun_to_json : overrun -> Obs.Json.t
+
+(** {2 Worker propagation}
+
+    The armed state is domain-local; the scheduler snapshots it on the
+    coordinating domain, each worker adopts the snapshot (re-anchoring
+    the allocation allowance on its own [Gc.minor_words] counter, the
+    wall deadline being process-wide already), and the worker's
+    tripped/truncated outcome folds back into the coordinator's record
+    at the barrier so the pass-level overrun report is complete. *)
+
+type inherited
+
+val snapshot : unit -> inherited option
+(** [None] when no budget is armed. *)
+
+val adopt : inherited option -> unit
+(** Arm (or disarm) the current domain from a snapshot. *)
+
+type saved
+
+val save : unit -> saved
+(** The current domain's armed state, for displacing around an inline
+    task. *)
+
+val restore : saved -> unit
+
+type worker_outcome
+
+val capture_worker : unit -> worker_outcome
+(** Read and disarm the current domain's verdict. *)
+
+val merge_worker : worker_outcome -> unit
+(** Fold a worker's verdict into the current domain's armed record;
+    no-op when nothing is armed here. *)

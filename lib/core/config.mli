@@ -32,6 +32,14 @@ type t = {
           still completes, with partial optimization *)
   pass_alloc_budget_mw : float option;
       (** allocation budget per pass, in millions of words *)
+  jobs : int option;
+      (** [Some n]: shard independent muxtrees across an [n]-worker
+          domain pool ({!Sat_elim.run_tasks}); [None] (default) is the
+          legacy in-place sequential walk *)
+  portfolio : bool;
+      (** race solver configurations on ring-flagged hard queries;
+          opt-in because it trades solver-telemetry determinism for
+          wall time *)
 }
 
 val default : t
@@ -41,3 +49,9 @@ val sat_only : t
 
 val rebuild_only : t
 (** SAT elimination disabled (Table III's "Rebuild" column). *)
+
+val fingerprint : t -> string
+(** Stable serialization of every verdict-affecting knob, for composite
+    cache keys ({!Replay}).  Two configs with equal fingerprints drive
+    the task path identically; [jobs] is excluded because the task
+    path's output is schedule-invariant by contract. *)

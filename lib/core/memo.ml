@@ -164,19 +164,65 @@ let key (circuit : Circuit.t) (view : Subgraph.view)
 (* --- the bounded store --- *)
 
 let default_capacity = 65536
-let capacity = ref default_capacity
-let tbl : (string, verdict) Hashtbl.t = Hashtbl.create 1024
-let order : string Queue.t = Queue.create ()
+
+(* A store owns its entries; [base] is an optional frozen fallback it
+   reads through.  The parallel scheduler gives each task a fresh
+   overlay whose base is the coordinator's store — safe to read from
+   many domains at once because the coordinator is blocked at the
+   barrier while workers run, so nobody writes it — and absorbs the
+   overlays back in task order.  The serve daemon keeps one warm store
+   across jobs the same way. *)
+type t = {
+  mutable capacity : int;
+  tbl : (string, verdict) Hashtbl.t;
+  order : string Queue.t; (* insertion order, for FIFO eviction *)
+  base : t option;
+}
+
+let make ?(capacity = default_capacity) ?base () =
+  { capacity; tbl = Hashtbl.create 1024; order = Queue.create (); base }
+
+let global : t = make ()
+
+(* Domain-local overlay; [None] means "use the process-global store",
+   which only the main domain does. *)
+let overlay_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () =
+  match Domain.DLS.get overlay_key with Some s -> s | None -> global
+
+let install_overlay ?capacity ?base () =
+  Domain.DLS.set overlay_key (Some (make ?capacity ?base ()))
+
+(* Make an existing store the current domain's — the serve daemon keeps
+   one warm store across jobs this way. *)
+let install (s : t) = Domain.DLS.set overlay_key (Some s)
+
+let uninstall_overlay () = Domain.DLS.set overlay_key None
+
+(* Displace/restore the overlay slot around an inline task, so nesting
+   (a per-task overlay inside a serve worker's warm per-job overlay)
+   puts the outer store back when the task closes. *)
+type saved = t option
+
+let save () : saved = Domain.DLS.get overlay_key
+let restore (s : saved) = Domain.DLS.set overlay_key s
 
 let reset ?capacity:(c = default_capacity) () =
-  capacity := c;
-  Hashtbl.reset tbl;
-  Queue.clear order
+  let s = current () in
+  s.capacity <- c;
+  Hashtbl.reset s.tbl;
+  Queue.clear s.order
 
-let size () = Hashtbl.length tbl
+let size () = Hashtbl.length (current ()).tbl
+
+let rec find_in (s : t) k =
+  match Hashtbl.find_opt s.tbl k with
+  | Some v -> Some v
+  | None -> ( match s.base with Some b -> find_in b k | None -> None)
 
 let find k : verdict option =
-  match Hashtbl.find_opt tbl k with
+  match find_in (current ()) k with
   | Some v ->
     Obs.Metrics.incr m_hits;
     Some v
@@ -185,18 +231,41 @@ let find k : verdict option =
     None
 
 let store k (v : verdict) =
-  if not (Hashtbl.mem tbl k) then begin
-    if Hashtbl.length tbl >= !capacity && !capacity > 0 then (
-      match Queue.take_opt order with
+  let s = current () in
+  if find_in s k = None then begin
+    if Hashtbl.length s.tbl >= s.capacity && s.capacity > 0 then (
+      match Queue.take_opt s.order with
       | Some oldest ->
-        Hashtbl.remove tbl oldest;
+        Hashtbl.remove s.tbl oldest;
         Obs.Metrics.incr m_evictions
       | None -> ());
-    if !capacity > 0 then begin
-      Hashtbl.replace tbl k v;
-      Queue.add k order
+    if s.capacity > 0 then begin
+      Hashtbl.replace s.tbl k v;
+      Queue.add k s.order
     end
   end
+
+(* --- worker capture / merge --- *)
+
+type snapshot = (string * verdict) list
+
+(* Drain the overlay's own entries in insertion order and uninstall it.
+   Absorbing snapshots in task order therefore replays stores in a
+   schedule-independent order. *)
+let capture_overlay () : snapshot =
+  match Domain.DLS.get overlay_key with
+  | None -> []
+  | Some s ->
+    Domain.DLS.set overlay_key None;
+    Queue.fold
+      (fun acc k ->
+        match Hashtbl.find_opt s.tbl k with
+        | Some v -> (k, v) :: acc
+        | None -> acc)
+      [] s.order
+    |> List.rev
+
+let absorb (snap : snapshot) = List.iter (fun (k, v) -> store k v) snap
 
 let to_json () : Obs.Json.t =
   let hits = Obs.Metrics.value m_hits in
@@ -211,6 +280,6 @@ let to_json () : Obs.Json.t =
       ("misses", Obs.Json.num_of_int misses);
       ("evictions", Obs.Json.num_of_int (Obs.Metrics.value m_evictions));
       ("entries", Obs.Json.num_of_int (size ()));
-      ("capacity", Obs.Json.num_of_int !capacity);
+      ("capacity", Obs.Json.num_of_int (current ()).capacity);
       ("hit_rate", Obs.Json.Num rate);
     ]

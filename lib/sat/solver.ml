@@ -519,7 +519,7 @@ type solve_outcome = result
    consequences of the problem clauses, so any extension that satisfies
    the problem clauses satisfies them too).  Without it every variable is
    assigned, as a plain CDCL solver does. *)
-let search s ~assumptions ~budget ~relevant : solve_outcome =
+let search s ~assumptions ~budget ~relevant ~interrupt : solve_outcome =
   let assumptions = Array.of_list assumptions in
   let n_ass = Array.length assumptions in
   let nof_conflicts = ref 100.0 in
@@ -541,11 +541,16 @@ let search s ~assumptions ~budget ~relevant : solve_outcome =
         s.var_inc <- s.var_inc *. var_decay;
         s.cla_inc <- s.cla_inc *. cla_decay;
         if s.num_learnts > 4000 + (s.num_problem_clauses / 2) then reduce_db s;
-        (match budget with
+        match budget with
         | Some b when s.conflicts >= b ->
           cancel_until s 0;
           Unknown
-        | Some _ | None -> loop ())
+        | Some _ | None ->
+          if interrupt () then begin
+            cancel_until s 0;
+            Unknown
+          end
+          else loop ()
       end
     | None ->
       if float_of_int !conflicts_this_restart >= !nof_conflicts then begin
@@ -594,6 +599,10 @@ let search s ~assumptions ~budget ~relevant : solve_outcome =
           !best
       in
       if v < 0 then Sat
+      else if interrupt () then begin
+        cancel_until s 0;
+        Unknown
+      end
       else begin
         s.decisions <- s.decisions + 1;
         new_decision_level s;
@@ -607,7 +616,7 @@ let search s ~assumptions ~budget ~relevant : solve_outcome =
 
 (* Wrapped so every path through [solve] records the per-call deltas the
    engine's per-query telemetry reads back via [last_solve_stats]. *)
-let solve_raw ?(assumptions = []) ?budget ?relevant s : result =
+let solve_raw ?(assumptions = []) ?budget ?relevant ?interrupt s : result =
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -619,7 +628,10 @@ let solve_raw ?(assumptions = []) ?budget ?relevant s : result =
       (* make the caller's budget per-call: cap at current + budget *)
       let budget = Option.map (fun b -> s.conflicts + b) budget in
       let relevant = Option.map Array.of_list relevant in
-      let r = search s ~assumptions ~budget ~relevant in
+      let interrupt =
+        match interrupt with Some f -> f | None -> fun () -> false
+      in
+      let r = search s ~assumptions ~budget ~relevant ~interrupt in
       (match r with
       | Sat -> () (* keep trail so the model can be read *)
       | Unsat | Unknown -> cancel_until s 0);
@@ -633,10 +645,10 @@ type solve_stats = {
   wall_s : float;
 }
 
-let solve ?assumptions ?budget ?relevant (s : t) : result =
+let solve ?assumptions ?budget ?relevant ?interrupt (s : t) : result =
   let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
   let t0 = Obs.Clock.now () in
-  let r = solve_raw ?assumptions ?budget ?relevant s in
+  let r = solve_raw ?assumptions ?budget ?relevant ?interrupt s in
   s.last_conflicts <- s.conflicts - c0;
   s.last_decisions <- s.decisions - d0;
   s.last_propagations <- s.propagations - p0;

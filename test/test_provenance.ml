@@ -146,14 +146,14 @@ let test_sat_capture_replay () =
   check_bool "buffer bounded" true (List.length hardest <= 8);
   List.iter
     (fun (e : Smartly.Engine.Sat_log.entry) ->
+      let dimacs = e.Smartly.Engine.Sat_log.dimacs e.Smartly.Engine.Sat_log.id in
       (* metadata comment carries the recorded outcome *)
       check_bool "metadata line" true
-        (String.length e.Smartly.Engine.Sat_log.dimacs > 0
-        && String.sub e.Smartly.Engine.Sat_log.dimacs 0 1 = "c");
+        (String.length dimacs > 0 && String.sub dimacs 0 1 = "c");
       match e.Smartly.Engine.Sat_log.solve with
       | Cdcl.Solver.Unknown -> () (* budget exhaustion is not replayable *)
       | (Cdcl.Solver.Sat | Cdcl.Solver.Unsat) as recorded ->
-        let got = solve_dimacs e.Smartly.Engine.Sat_log.dimacs in
+        let got = solve_dimacs dimacs in
         check_string
           (Printf.sprintf "query %d verdict reproduced"
              e.Smartly.Engine.Sat_log.id)
